@@ -1,0 +1,41 @@
+"""Extension bench: edge-based OPC vs pixel-based ILT.
+
+The paper's related work contrasts segment-movement OPC with inverse
+lithography (refs [5, 6, 13]).  This bench runs our MOSAIC-style pixel
+ILT next to the Calibre-like edge-based engine on one via clip and
+reports the trade-off: ILT explores a far larger mask space (free-form
+pixels) at a much higher runtime.
+"""
+
+import pytest
+
+from repro.baselines.ilt import ILTConfig, PixelILT
+from repro.baselines.mbopc import MBOPC, MBOPCConfig
+from repro.data.via_bench import generate_via_clip
+from repro.eval.experiments import build_simulator
+
+
+@pytest.fixture(scope="module")
+def engines(scale_name):
+    simulator = build_simulator(scale_name)
+    iterations = 8 if scale_name == "smoke" else 25
+    ilt = PixelILT(ILTConfig(iterations=iterations), simulator)
+    mbopc = MBOPC(MBOPCConfig(initial_bias_nm=3.0), simulator)
+    clip = generate_via_clip("ilt", n_vias=2, seed=11)
+    return simulator, ilt, mbopc, clip
+
+
+def test_ilt_vs_edge_based(engines, benchmark):
+    _, ilt, mbopc, clip = engines
+    ilt_result = benchmark(ilt.optimize, clip)
+    edge_result = mbopc.optimize(clip)
+    print(
+        f"\nILT: EPE {ilt_result.epe_total:.1f} nm, RT {ilt_result.runtime_s:.2f} s"
+        f" | edge-based: EPE {edge_result.epe_total:.1f} nm, "
+        f"RT {edge_result.runtime_s:.2f} s"
+    )
+    # ILT's soft-error objective must decrease over iterations.
+    curve = ilt_result.epe_curve
+    assert curve[-1] < curve[0]
+    # Its free-form mask must actually print the vias.
+    assert ilt_result.mask_image.sum() > 0

@@ -1,0 +1,50 @@
+"""Ablation bench: RNN visit-order strategies (snake / nearest / BFS).
+
+The paper does not specify the order in which the RNN walks the segment
+embeddings; DESIGN.md calls this out as an implementation choice.  This
+bench measures both ordering cost and the spatial locality of each order
+(mean hop distance between consecutive nodes — the quantity that
+determines how useful the hidden state is to the next decision).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.via_bench import generate_via_clip
+from repro.geometry import fragment_clip
+from repro.graphs import build_segment_graph
+from repro.graphs.ordering import ORDERINGS
+
+
+@pytest.fixture(scope="module")
+def graph():
+    clip = generate_via_clip("order", n_vias=6, seed=17)
+    return build_segment_graph(fragment_clip(clip))
+
+
+def _mean_hop(graph, order):
+    controls = np.asarray([s.control for s in graph.segments])
+    hops = [
+        float(np.hypot(*(controls[a] - controls[b])))
+        for a, b in zip(order, order[1:])
+    ]
+    return float(np.mean(hops))
+
+
+@pytest.mark.parametrize("name", sorted(ORDERINGS))
+def test_ordering_cost_and_locality(graph, name, benchmark):
+    order_fn = ORDERINGS[name]
+    order = benchmark(order_fn, graph)
+    assert sorted(order) == list(range(graph.n_nodes))
+    hop = _mean_hop(graph, order)
+    print(f"\n{name}: mean consecutive hop {hop:.0f} nm")
+    # Any sane order keeps the mean hop far below the clip diagonal.
+    assert hop < 2000
+
+
+def test_nearest_neighbor_is_most_local(graph):
+    hops = {
+        name: _mean_hop(graph, fn(graph)) for name, fn in ORDERINGS.items()
+    }
+    print("\nmean hops:", {k: round(v) for k, v in hops.items()})
+    assert hops["nearest"] == min(hops.values())

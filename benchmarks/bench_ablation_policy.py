@@ -1,0 +1,57 @@
+"""Ablation bench: the DESIGN.md design-choice grid.
+
+Toggles the three CAMO ingredients — GNN feature fusion, RNN sequential
+decision, modulator — and reports EPE after a fixed step budget on one
+via clip.  The paper's Section 4.4 covers the modulator ablation
+(Fig. 5); this bench extends it to the architecture flags.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.agent import CAMO
+from repro.core.config import CamoConfig
+from repro.data.via_bench import generate_via_clip
+from repro.eval.experiments import build_simulator
+
+VARIANTS = {
+    "full": {},
+    "no_modulator": {"use_modulator": False},
+    "no_gnn": {"use_gnn": False},
+    "no_rnn": {"use_rnn": False},
+    "modulator_only": {"use_gnn": False, "use_rnn": False},
+}
+
+
+@pytest.fixture(scope="module")
+def ablation_results(scale_name):
+    simulator = build_simulator(scale_name)
+    clip = generate_via_clip("ablate", n_vias=3, seed=99)
+    results = {}
+    for label, overrides in VARIANTS.items():
+        config = CamoConfig.smoke(max_updates=6, policy_temperature=2.5, **overrides)
+        config = dataclasses.replace(config, imitation_epochs=0, rl_epochs=0)
+        agent = CAMO(config, simulator)
+        outcome = agent.optimize(clip, early_exit=False)
+        results[label] = outcome
+    print("\nPolicy-ingredient ablation (untrained policies, 6 steps):")
+    for label, outcome in results.items():
+        print(f"  {label:15s} EPE {outcome.epe_total:7.1f}  (start "
+              f"{outcome.epe_curve[0]:.1f})")
+    return clip, results
+
+
+def test_ablation_grid(ablation_results, benchmark):
+    clip, results = ablation_results
+    simulator = build_simulator()
+    agent = CAMO(
+        dataclasses.replace(CamoConfig.smoke(), imitation_epochs=0, rl_epochs=0),
+        simulator,
+    )
+    benchmark(lambda: agent.optimize(clip, max_updates=2, early_exit=False))
+
+    # With an untrained policy, the modulator is the load-bearing piece:
+    # removing it must hurt; keeping only it must still make progress.
+    assert results["full"].epe_total < results["no_modulator"].epe_total
+    assert results["modulator_only"].epe_total < results["modulator_only"].epe_curve[0]

@@ -1,0 +1,35 @@
+"""Regenerates paper Figure 4: the modulator's projection behaviour.
+
+Prints preference vectors across signed EPE and asserts the two
+properties the paper postulates: sharp, sign-correct preferences for
+large |EPE| and a near-uniform distribution for small |EPE|.
+"""
+
+import numpy as np
+
+from repro.core.modulator import Modulator
+from repro.eval.experiments import figure4
+
+
+def test_figure4_generation(benchmark):
+    text = benchmark(figure4)
+    print("\n" + text)
+
+    modulator = Modulator()  # paper polynomial f(x) = 0.02 x^4 + 1
+    # Large positive EPE (overflow) -> inward (m1) dominates.
+    assert modulator.preference(10.0).argmax() == 0
+    # Large negative EPE (underflow) -> outward (m5) dominates.
+    assert modulator.preference(-10.0).argmax() == 4
+    # Small EPE -> not significantly biased.
+    pref = modulator.preference(0.5)
+    assert pref.max() - pref.min() < 0.01
+    # Exactly zero -> uniform.
+    assert np.allclose(modulator.preference(0.0), 0.2)
+
+
+def test_figure4_batch_throughput(benchmark):
+    modulator = Modulator(mode="matched", epe_scale=0.5)
+    epe = np.linspace(-20, 20, 512)
+    result = benchmark(modulator.preference_batch, epe)
+    assert result.shape == (512, 5)
+    assert np.allclose(result.sum(axis=1), 1.0)

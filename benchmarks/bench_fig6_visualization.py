@@ -1,0 +1,40 @@
+"""Regenerates paper Figure 6: target / mask / contour / PV band panels.
+
+Writes the four PGM panels for case M10 and sanity-checks their content
+relationships (the mask deviates from the target; the printed contour
+overlaps the target; the PV band is a thin annulus around the contour).
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import experiments
+
+
+@pytest.fixture(scope="module")
+def fig6_panels(scale_name, tmp_path_factory):
+    out_dir = tmp_path_factory.mktemp("fig6")
+    panels = experiments.figure6(scale_name, out_dir=str(out_dir))
+    produced = sorted(p.name for p in out_dir.iterdir())
+    print("\nFigure 6 panels:", produced)
+    return panels
+
+
+def test_figure6_generation(fig6_panels, benchmark):
+    def render():
+        from repro.eval.experiments import figure6_ascii
+
+        return figure6_ascii(fig6_panels, width=32)
+
+    art = benchmark(render)
+    assert "target" in art
+
+    target = fig6_panels["target"]
+    mask = fig6_panels["mask"]
+    printed = fig6_panels["printed"]
+    pvband = fig6_panels["pvband"]
+    assert target.sum() > 0
+    assert not np.allclose(target, mask)  # OPC moved the mask
+    overlap = float(((target > 0.5) & (printed > 0.5)).sum())
+    assert overlap > 0.5 * float((target > 0.5).sum())
+    assert 0 < pvband.sum() < printed.size * 0.5

@@ -1,0 +1,19 @@
+"""Benchmark configuration.
+
+Benches default to the fast ``smoke`` scale so ``pytest benchmarks/
+--benchmark-only`` completes in minutes; export ``REPRO_SCALE=repro`` (or
+``paper``) to regenerate the tables at higher fidelity.  Trained engines
+are cached inside :mod:`repro.eval.experiments`, so table and figure
+benches share one training run per scale.
+"""
+
+import os
+
+import pytest
+
+os.environ.setdefault("REPRO_SCALE", "smoke")
+
+
+@pytest.fixture(scope="session")
+def scale_name() -> str:
+    return os.environ["REPRO_SCALE"]

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Quickstart: optimize a tiny via clip with CAMO in under a minute.
+
+Runs the modulator-driven CAMO engine (no training needed — the policy
+starts uniform and the OPC-inspired modulator alone already converges) and
+the Calibre-like model-based baseline on one generated 2-via clip, then
+prints both results and a squish-pattern demo (paper Fig. 3).
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import quick_opc
+from repro.geometry import Polygon, Rect
+from repro.squish import encode_squish
+
+
+def main() -> None:
+    print("=" * 60)
+    print("CAMO quickstart")
+    print("=" * 60)
+    result = quick_opc()
+    print(result.summary())
+
+    print()
+    print("Squish-pattern encoding demo (paper Fig. 3)")
+    window = Rect(0, 0, 100, 100)
+    pattern = encode_squish([Polygon.from_rect(Rect(20, 30, 60, 70))], window)
+    print("matrix M:")
+    for row in pattern.matrix[::-1]:
+        print("   ", row.tolist())
+    print("    delta_x:", pattern.delta_x.tolist())
+    print("    delta_y:", pattern.delta_y.tolist())
+    print("    covered area:", pattern.covered_area, "nm^2")
+
+
+if __name__ == "__main__":
+    main()

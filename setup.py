@@ -1,0 +1,5 @@
+"""Setuptools shim so legacy editable installs work offline (no wheel pkg)."""
+
+from setuptools import setup
+
+setup()

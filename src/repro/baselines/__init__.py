@@ -1,0 +1,18 @@
+"""Baseline OPC engines the paper compares against.
+
+* :class:`~repro.baselines.mbopc.MBOPC` — iterative model-based OPC, the
+  stand-in for the commercial Calibre engine (and the phase-1 teacher);
+* :class:`~repro.baselines.rlopc.RLOPC` — reimplementation of RL-OPC [12]:
+  per-segment independent decisions, no GNN/RNN, no modulator;
+* :class:`~repro.baselines.damo.DamoLikeOPC` — DAMO-profile one-shot
+  generative surrogate: single-inference correction, no exploration;
+* :class:`~repro.baselines.ilt.PixelILT` — pixel-based inverse lithography
+  (MOSAIC-style gradient descent), provided as an extension baseline.
+"""
+
+from repro.baselines.mbopc import MBOPC
+from repro.baselines.rlopc import RLOPC
+from repro.baselines.damo import DamoLikeOPC
+from repro.baselines.ilt import PixelILT
+
+__all__ = ["MBOPC", "RLOPC", "DamoLikeOPC", "PixelILT"]

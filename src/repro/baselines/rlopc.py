@@ -1,0 +1,217 @@
+"""RL-OPC [Liang et al., TCAD'23] reimplementation.
+
+The baseline the paper positions CAMO against: an RL agent that decides
+each segment's movement *independently* from its local 3-channel adaptive
+squish features — no graph fusion, no sequential coordination, no
+modulator.  Training is the same two-phase recipe (imitation then
+REINFORCE) so that the only differences from CAMO are the ones the paper
+credits: spatial correlation handling and modulation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.agent import OptimizeResult
+from repro.errors import RLError
+from repro.geometry.layout import Clip
+from repro.litho.simulator import LithographySimulator
+from repro.nn import functional as F
+from repro.nn.layers import Conv2d, Flatten, Linear, ReLU
+from repro.nn.module import Module, Sequential
+from repro.nn.optim import SGD
+from repro.nn.tensor import Tensor, no_grad
+from repro.rl.env import EnvState, OPCEnvironment
+from repro.rl.imitation import collect_teacher_actions, greedy_teacher_actions
+from repro.rl.reinforce import policy_gradient_step, select_log_probs
+from repro.rl.trajectory import Trajectory, TrajectoryStep
+from repro.squish.features import NodeFeatureEncoder
+
+
+@dataclass(frozen=True)
+class RLOPCConfig:
+    """RL-OPC hyper-parameters (mirrors the CAMO repro profile scale)."""
+
+    window_nm: float = 500.0
+    encode_size: int = 32
+    embed_dim: int = 128
+    learning_rate: float = 3e-4
+    momentum: float = 0.9
+    imitation_epochs: int = 10
+    imitation_steps: int = 5
+    imitation_weighting: str = "unit"
+    rl_epochs: int = 5
+    max_updates: int = 10
+    early_exit_threshold: float = 4.0
+    early_exit_mode: str = "per_target"
+    initial_bias_nm: float = 0.0
+    max_grad_norm: float = 10.0
+    seed: int = 77
+
+    @classmethod
+    def metal(cls, **overrides) -> "RLOPCConfig":
+        base = cls(
+            max_updates=15,
+            early_exit_threshold=1.0,
+            early_exit_mode="per_point",
+        )
+        return replace(base, **overrides)
+
+
+class RlOpcPolicy(Module):
+    """Shared CNN -> MLP; each segment classified independently."""
+
+    def __init__(self, config: RLOPCConfig) -> None:
+        super().__init__()
+        rng = np.random.default_rng(config.seed)
+        final_spatial = config.encode_size // 8
+        self.net = Sequential(
+            Conv2d(3, 8, 3, stride=2, padding=1, rng=rng),
+            ReLU(),
+            Conv2d(8, 16, 3, stride=2, padding=1, rng=rng),
+            ReLU(),
+            Conv2d(16, 32, 3, stride=2, padding=1, rng=rng),
+            ReLU(),
+            Flatten(),
+            Linear(32 * final_spatial * final_spatial, config.embed_dim, rng=rng),
+            ReLU(),
+            Linear(config.embed_dim, 5, rng=rng),
+        )
+
+    def forward(self, features: np.ndarray) -> Tensor:
+        return self.net(Tensor(features))
+
+
+class RLOPC:
+    """Independent per-segment RL OPC engine."""
+
+    name = "rlopc"
+
+    def __init__(self, config: RLOPCConfig, simulator: LithographySimulator) -> None:
+        self.config = config
+        self.simulator = simulator
+        self.policy = RlOpcPolicy(config)
+        self.encoder = NodeFeatureEncoder(
+            window_nm=config.window_nm, out_size=config.encode_size, channels=3
+        )
+        self.optimizer = SGD(
+            self.policy.parameters(),
+            lr=config.learning_rate,
+            momentum=config.momentum,
+        )
+        self.rng = np.random.default_rng(config.seed)
+        self._envs: dict[str, OPCEnvironment] = {}
+
+    def _env(self, clip: Clip) -> OPCEnvironment:
+        env = self._envs.get(clip.name)
+        if env is None:
+            env = OPCEnvironment(
+                clip, self.simulator, initial_bias_nm=self.config.initial_bias_nm
+            )
+            self._envs[clip.name] = env
+        return env
+
+    def _logits(self, state: EnvState) -> Tensor:
+        return self.policy(self.encoder.encode_all(state.mask))
+
+    # -- training ----------------------------------------------------------
+    def train(self, clips: list[Clip], verbose: bool = False) -> dict[str, list[float]]:
+        if not clips:
+            raise RLError("training requires at least one clip")
+        history: dict[str, list[float]] = {"imitation_logp": [], "rl_reward": []}
+        teacher_data = {
+            clip.name: [
+                (self.encoder.encode_all(state.mask), actions, reward)
+                for state, actions, reward in collect_teacher_actions(
+                    self._env(clip), steps=self.config.imitation_steps,
+                    teacher=greedy_teacher_actions,
+                )
+            ]
+            for clip in clips
+        }
+        unit_weight = self.config.imitation_weighting == "unit"
+        for _ in range(self.config.imitation_epochs):
+            epoch_logp = 0.0
+            for clip in clips:
+                for features, actions, reward in teacher_data[clip.name]:
+                    logits = self.policy(features)
+                    log_prob = select_log_probs(logits, actions)
+                    weight = 1.0 if unit_weight else reward
+                    policy_gradient_step(
+                        self.optimizer, log_prob, weight,
+                        max_grad_norm=self.config.max_grad_norm,
+                    )
+                    epoch_logp += log_prob.item()
+            history["imitation_logp"].append(epoch_logp)
+        for _ in range(self.config.rl_epochs):
+            epoch_reward = 0.0
+            for clip in clips:
+                env = self._env(clip)
+                state = env.reset()
+                for _ in range(self.config.max_updates):
+                    logits = self._logits(state)
+                    probs = F.softmax(logits, axis=-1).numpy()
+                    actions = self._sample(probs)
+                    next_state, reward = env.step(state, actions)
+                    log_prob = select_log_probs(logits, actions)
+                    policy_gradient_step(
+                        self.optimizer, log_prob, reward,
+                        max_grad_norm=self.config.max_grad_norm,
+                    )
+                    epoch_reward += reward
+                    state = next_state
+            history["rl_reward"].append(epoch_reward)
+        return history
+
+    def _sample(self, distribution: np.ndarray) -> np.ndarray:
+        cumulative = distribution.cumsum(axis=1)
+        draws = self.rng.random((len(distribution), 1))
+        return (draws > cumulative).sum(axis=1)
+
+    # -- inference ------------------------------------------------------------
+    def optimize(
+        self,
+        clip: Clip,
+        max_updates: int | None = None,
+        early_exit: bool = True,
+    ) -> OptimizeResult:
+        start = time.perf_counter()
+        env = self._env(clip)
+        limit = max_updates if max_updates is not None else self.config.max_updates
+        state = env.reset()
+        trajectory = Trajectory(epe_initial=state.total_epe)
+        exited = False
+        steps = 0
+        for _ in range(limit):
+            if early_exit and self._early_exit(clip, state):
+                exited = True
+                break
+            with no_grad():
+                logits = self._logits(state)
+            actions = logits.numpy().argmax(axis=1)
+            state, reward = env.step(state, actions)
+            steps += 1
+            trajectory.append(
+                TrajectoryStep(
+                    actions=actions,
+                    reward=reward,
+                    epe_after=state.total_epe,
+                    pvband_after=state.pvband,
+                )
+            )
+        return OptimizeResult(
+            clip_name=clip.name,
+            final_state=state,
+            trajectory=trajectory,
+            steps=steps,
+            runtime_s=time.perf_counter() - start,
+            early_exited=exited,
+        )
+
+    def _early_exit(self, clip: Clip, state: EnvState) -> bool:
+        if self.config.early_exit_mode == "per_target":
+            return state.total_epe / clip.target_count < self.config.early_exit_threshold
+        return state.mean_epe < self.config.early_exit_threshold

@@ -1,0 +1,15 @@
+"""CAMO: correlation-aware mask optimization with modulated RL.
+
+This package is the paper's contribution proper: the OPC-inspired
+modulator (Section 3.2, Fig. 4), the correlation-aware policy network
+(shared CNN encoder -> GraphSAGE feature fusing -> RNN sequential decision
+-> 5-way movement head), and the two-phase-trained CAMO agent
+(Algorithm 1) with modulated inference (Eq. 6).
+"""
+
+from repro.core.config import CamoConfig
+from repro.core.modulator import Modulator
+from repro.core.policy import CamoPolicy
+from repro.core.agent import CAMO
+
+__all__ = ["CamoConfig", "Modulator", "CamoPolicy", "CAMO"]

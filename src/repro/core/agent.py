@@ -1,0 +1,326 @@
+"""The CAMO agent: two-phase training (Algorithm 1) and modulated
+inference (Eq. 6).
+
+A :class:`CAMO` instance owns the policy network, the modulator and one
+optimization context per clip (environment + segment graph + visit order,
+all fixed for the clip's lifetime, as the paper prescribes).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import CamoConfig
+from repro.core.modulator import Modulator
+from repro.core.policy import CamoPolicy
+from repro.errors import RLError
+from repro.geometry.layout import Clip
+from repro.graphs.construction import SegmentGraph, build_segment_graph
+from repro.graphs.ordering import get_ordering
+from repro.litho.simulator import LithographySimulator
+from repro.nn.functional import softmax
+from repro.nn.optim import SGD, Adam
+from repro.nn.tensor import Tensor, no_grad
+from repro.nn.sage import mean_adjacency
+from repro.rl.env import EnvState, OPCEnvironment
+from repro.rl.imitation import collect_teacher_actions, greedy_teacher_actions
+from repro.rl.reinforce import policy_gradient_step, select_log_probs
+from repro.rl.trajectory import Trajectory, TrajectoryStep
+from repro.squish.features import NodeFeatureEncoder
+
+
+@dataclass
+class OptimizeResult:
+    """Outcome of one CAMO inference run on a clip."""
+
+    clip_name: str
+    final_state: EnvState
+    trajectory: Trajectory
+    steps: int
+    runtime_s: float
+    early_exited: bool
+
+    @property
+    def epe_total(self) -> float:
+        return self.final_state.total_epe
+
+    @property
+    def pvband(self) -> float:
+        return self.final_state.pvband
+
+    @property
+    def epe_curve(self) -> list[float]:
+        return self.trajectory.epe_curve
+
+
+@dataclass
+class _ClipContext:
+    env: OPCEnvironment
+    graph: SegmentGraph
+    adjacency: np.ndarray
+    order: list[int]
+    teacher_samples: list | None = field(default=None, repr=False)
+
+
+class CAMO:
+    """Correlation-aware mask optimization with modulated RL."""
+
+    def __init__(
+        self, config: CamoConfig, simulator: LithographySimulator
+    ) -> None:
+        self.config = config
+        self.simulator = simulator
+        self.policy = CamoPolicy(config)
+        self.modulator = Modulator(
+            k=config.modulator_k,
+            n=config.modulator_n,
+            b=config.modulator_b,
+            epe_scale=config.modulator_epe_scale,
+            hold_bias=config.modulator_hold_bias,
+            hold_width_nm=config.modulator_hold_width_nm,
+            mode=config.modulator_mode,
+            sigma=config.modulator_sigma,
+        )
+        self.encoder = NodeFeatureEncoder(
+            window_nm=config.window_nm,
+            out_size=config.encode_size,
+            channels=config.channels,
+        )
+        self.optimizer = self._make_optimizer(config.learning_rate)
+        self.rng = np.random.default_rng(config.seed)
+        self._contexts: dict[str, _ClipContext] = {}
+
+    def _make_optimizer(self, lr: float):
+        if self.config.optimizer == "adam":
+            return Adam(self.policy.parameters(), lr=lr)
+        return SGD(self.policy.parameters(), lr=lr, momentum=self.config.momentum)
+
+    # -- context management -----------------------------------------------------
+    def context(self, clip: Clip) -> _ClipContext:
+        """Environment + fixed graph/ordering for a clip (built once)."""
+        ctx = self._contexts.get(clip.name)
+        if ctx is None:
+            env = OPCEnvironment(
+                clip,
+                self.simulator,
+                initial_bias_nm=self.config.initial_bias_nm,
+                epe_search_nm=self.config.epe_search_nm,
+                reward_epsilon=self.config.reward_epsilon,
+                reward_beta=self.config.reward_beta,
+            )
+            graph = build_segment_graph(
+                env.segments, threshold_nm=self.config.graph_threshold_nm
+            )
+            ctx = _ClipContext(
+                env=env,
+                graph=graph,
+                adjacency=mean_adjacency(graph),
+                order=get_ordering(self.config.ordering)(graph),
+            )
+            self._contexts[clip.name] = ctx
+        return ctx
+
+    # -- policy evaluation ------------------------------------------------------
+    def _logits(self, ctx: _ClipContext, state: EnvState) -> Tensor:
+        features = self.encoder.encode_all(state.mask)
+        return self.policy(features, ctx.adjacency, ctx.order)
+
+    def _gain(self, step: int) -> float:
+        return 1.0 / (1.0 + self.config.modulator_gain_decay * step)
+
+    def _decision_distribution(
+        self, ctx: _ClipContext, state: EnvState, logits: Tensor, step: int = 0
+    ) -> np.ndarray:
+        """Modulated (or raw) per-segment distributions for action choice."""
+        temperature = max(self.config.policy_temperature, 1e-6)
+        probs = softmax(logits * (1.0 / temperature), axis=-1).numpy()
+        if not self.config.use_modulator:
+            return probs
+        return self.modulator.modulate(probs, state.seg_epe, gain=self._gain(step))
+
+    def _sample_actions(self, distribution: np.ndarray) -> np.ndarray:
+        cumulative = distribution.cumsum(axis=1)
+        draws = self.rng.random((len(distribution), 1))
+        return (draws > cumulative).sum(axis=1)
+
+    # -- early exit ------------------------------------------------------------
+    def _early_exit(self, clip: Clip, state: EnvState) -> bool:
+        threshold = self.config.early_exit_threshold
+        if self.config.early_exit_mode == "per_target":
+            return state.total_epe / clip.target_count < threshold
+        return state.mean_epe < threshold
+
+    # -- training (Algorithm 1) -----------------------------------------------
+    def train(self, clips: list[Clip], verbose: bool = False) -> dict[str, list[float]]:
+        """Two-phase training; returns loss/reward histories."""
+        if not clips:
+            raise RLError("training requires at least one clip")
+        history: dict[str, list[float]] = {"imitation_logp": [], "rl_reward": []}
+        self._train_imitation(clips, history, verbose)
+        self._train_rl(clips, history, verbose)
+        return history
+
+    def _train_imitation(
+        self, clips: list[Clip], history: dict[str, list[float]], verbose: bool
+    ) -> None:
+        """Phase 1: mimic the model-based teacher (no modulator involved).
+
+        With ``imitation_weighting="unit"`` every teacher action gets unit
+        weight (behaviour cloning) — necessary so that the teacher's *hold*
+        decisions near convergence, whose environment reward is ~0, are
+        learned too.  ``"reward"`` reproduces Eq. 7 literally.
+        """
+        for clip in clips:
+            ctx = self.context(clip)
+            if ctx.teacher_samples is None:
+                rollout = []
+                for offset in self.config.imitation_bias_offsets:
+                    start = ctx.env.reset(
+                        bias_nm=self.config.initial_bias_nm + offset
+                    )
+                    rollout.extend(
+                        collect_teacher_actions(
+                            ctx.env,
+                            steps=self.config.imitation_steps,
+                            teacher=greedy_teacher_actions,
+                            initial_state=start,
+                        )
+                    )
+                # Teacher states never change across epochs: encode the
+                # features (and the modulator's logit offset) once.
+                ctx.teacher_samples = [
+                    (
+                        self.encoder.encode_all(state.mask),
+                        actions,
+                        reward,
+                        self.modulator.log_preference_batch(state.seg_epe),
+                    )
+                    for state, actions, reward in rollout
+                ]
+        unit_weight = self.config.imitation_weighting == "unit"
+        for epoch in range(self.config.imitation_epochs):
+            epoch_logp = 0.0
+            for clip in clips:
+                ctx = self.context(clip)
+                for features, actions, reward, log_pref in ctx.teacher_samples:
+                    logits = self.policy(features, ctx.adjacency, ctx.order)
+                    if self.config.use_modulator and self.config.train_on_modulated:
+                        logits = logits + Tensor(log_pref)
+                    log_prob = select_log_probs(logits, actions)
+                    weight = 1.0 if unit_weight else reward
+                    policy_gradient_step(
+                        self.optimizer, log_prob, weight,
+                        max_grad_norm=self.config.max_grad_norm,
+                    )
+                    epoch_logp += log_prob.item()
+            history["imitation_logp"].append(epoch_logp)
+            if verbose:
+                print(f"[imitation] epoch {epoch}: sum log-prob {epoch_logp:.2f}")
+
+    def _train_rl(
+        self, clips: list[Clip], history: dict[str, list[float]], verbose: bool
+    ) -> None:
+        """Phase 2: modulated exploration with per-step Eq. 7 updates.
+
+        An exponential-moving-average reward baseline turns the raw reward
+        into an advantage — plain REINFORCE with batch size 1 is otherwise
+        too noisy and can undo the imitation phase.
+        """
+        rl_lr = (
+            self.config.rl_learning_rate
+            if self.config.rl_learning_rate is not None
+            else 0.3 * self.config.learning_rate
+        )
+        rl_optimizer = self._make_optimizer(rl_lr)
+        baseline = 0.0
+        baseline_initialized = False
+        for epoch in range(self.config.rl_epochs):
+            epoch_reward = 0.0
+            for clip in clips:
+                ctx = self.context(clip)
+                state = ctx.env.reset()
+                for step in range(self.config.max_updates):
+                    logits = self._logits(ctx, state)
+                    distribution = self._decision_distribution(
+                        ctx, state, logits, step
+                    )
+                    actions = self._sample_actions(distribution)
+                    next_state, reward = ctx.env.step(state, actions)
+                    if not baseline_initialized:
+                        baseline = reward
+                        baseline_initialized = True
+                    advantage = reward - baseline
+                    baseline = 0.8 * baseline + 0.2 * reward
+                    # Eq. 7 uses the unmodulated policy output; with
+                    # train_on_modulated we instead differentiate through
+                    # the modulated distribution that was actually sampled.
+                    if self.config.use_modulator and self.config.train_on_modulated:
+                        log_pref = self.modulator.log_preference_batch(
+                            state.seg_epe, gain=self._gain(step)
+                        )
+                        log_prob = select_log_probs(logits + Tensor(log_pref), actions)
+                    else:
+                        log_prob = select_log_probs(logits, actions)
+                    policy_gradient_step(
+                        rl_optimizer, log_prob, advantage,
+                        max_grad_norm=self.config.max_grad_norm,
+                    )
+                    epoch_reward += reward
+                    state = next_state
+                    if self._early_exit(clip, state):
+                        break
+            history["rl_reward"].append(epoch_reward)
+            if verbose:
+                print(f"[rl] epoch {epoch}: total reward {epoch_reward:.3f}")
+
+    # -- inference (Eq. 6) -----------------------------------------------------
+    def optimize(
+        self,
+        clip: Clip,
+        max_updates: int | None = None,
+        early_exit: bool = True,
+    ) -> OptimizeResult:
+        """Run modulated greedy OPC on one clip."""
+        start = time.perf_counter()
+        ctx = self.context(clip)
+        limit = max_updates if max_updates is not None else self.config.max_updates
+        state = ctx.env.reset()
+        trajectory = Trajectory(epe_initial=state.total_epe)
+        exited = False
+        steps = 0
+        for _ in range(limit):
+            if early_exit and self._early_exit(clip, state):
+                exited = True
+                break
+            with no_grad():
+                logits = self._logits(ctx, state)
+            distribution = self._decision_distribution(ctx, state, logits, steps)
+            actions = distribution.argmax(axis=1)
+            state, reward = ctx.env.step(state, actions)
+            steps += 1
+            trajectory.append(
+                TrajectoryStep(
+                    actions=actions,
+                    reward=reward,
+                    epe_after=state.total_epe,
+                    pvband_after=state.pvband,
+                )
+            )
+        return OptimizeResult(
+            clip_name=clip.name,
+            final_state=state,
+            trajectory=trajectory,
+            steps=steps,
+            runtime_s=time.perf_counter() - start,
+            early_exited=exited,
+        )
+
+    # -- persistence ------------------------------------------------------------
+    def save(self, path: str) -> None:
+        self.policy.save(path)
+
+    def load(self, path: str) -> None:
+        self.policy.load(path)

@@ -1,0 +1,123 @@
+"""The correlation-aware policy network.
+
+Architecture (paper Section 3.2 + our documented reading of it):
+
+1. a *shared* CNN reduces each node's ``(6, s, s)`` squish tensor to a
+   compact vector — the node feature;
+2. GraphSAGE levels fuse features along the proximity-graph edges to
+   produce 256-d node embeddings (paper Eq. 4);
+3. a 3-layer Elman RNN walks the embeddings in a spatial visit order,
+   coordinating neighbouring segments through its hidden state (Eq. 5);
+4. a ``64 x 5`` head yields one 5-way movement distribution per segment.
+
+``use_gnn`` / ``use_rnn`` flags swap stages 2 / 3 for identity /
+per-node MLP — the ablation grid reported in the benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import CamoConfig
+from repro.errors import NNError
+from repro.nn import functional as F
+from repro.nn.layers import Conv2d, Flatten, GlobalAvgPool2d, Linear, ReLU
+from repro.nn.module import Module, Sequential
+from repro.nn.rnn import ElmanRNN
+from repro.nn.sage import GraphSAGEConv
+from repro.nn.tensor import Tensor
+
+
+class CamoPolicy(Module):
+    """CNN -> GraphSAGE -> RNN -> FC policy (one distribution per node)."""
+
+    def __init__(self, config: CamoConfig) -> None:
+        super().__init__()
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+
+        if config.encoder_tail == "gap":
+            tail: tuple = (
+                GlobalAvgPool2d(),
+                Linear(64, config.embed_dim, rng=rng),
+                ReLU(),
+            )
+        else:
+            final_spatial = config.encode_size // 8
+            tail = (
+                Flatten(),
+                Linear(64 * final_spatial * final_spatial, config.embed_dim, rng=rng),
+                ReLU(),
+            )
+        self.encoder = Sequential(
+            Conv2d(config.channels, 16, 3, stride=2, padding=1, rng=rng),
+            ReLU(),
+            Conv2d(16, 32, 3, stride=2, padding=1, rng=rng),
+            ReLU(),
+            Conv2d(32, 64, 3, stride=2, padding=1, rng=rng),
+            ReLU(),
+            *tail,
+        )
+
+        if config.use_gnn:
+            for index in range(config.sage_layers):
+                setattr(
+                    self,
+                    f"sage{index}",
+                    GraphSAGEConv(config.embed_dim, config.embed_dim, rng=rng),
+                )
+
+        if config.use_rnn:
+            self.rnn = ElmanRNN(
+                config.embed_dim,
+                config.rnn_hidden,
+                num_layers=config.rnn_layers,
+                rng=rng,
+            )
+        else:
+            self.node_mlp = Sequential(
+                Linear(config.embed_dim, config.rnn_hidden, rng=rng), ReLU()
+            )
+        self.head = Linear(config.rnn_hidden, config.n_actions, rng=rng)
+
+    # -- forward ------------------------------------------------------------
+    def forward(
+        self,
+        features: np.ndarray,
+        adjacency: np.ndarray,
+        order: list[int],
+    ) -> Tensor:
+        """Movement logits ``(n_segments, 5)`` in original segment order.
+
+        Args:
+            features: ``(n, channels, s, s)`` node feature tensors.
+            adjacency: Row-normalized mean-aggregation matrix.
+            order: RNN visit order (a permutation of node indices).
+        """
+        n = features.shape[0]
+        if sorted(order) != list(range(n)):
+            raise NNError("order must be a permutation of node indices")
+        embeddings = self.encoder(Tensor(features))
+
+        if self.config.use_gnn:
+            for index in range(self.config.sage_layers):
+                embeddings = getattr(self, f"sage{index}")(embeddings, adjacency)
+
+        if self.config.use_rnn:
+            ordered = embeddings[np.asarray(order)]
+            hidden = self.rnn(ordered)
+            inverse = np.argsort(np.asarray(order))
+            hidden = hidden[inverse]
+        else:
+            hidden = self.node_mlp(embeddings)
+
+        return self.head(hidden)
+
+    def probabilities(
+        self,
+        features: np.ndarray,
+        adjacency: np.ndarray,
+        order: list[int],
+    ) -> Tensor:
+        """Per-segment softmax distributions ``pi(a | s)``, ``(n, 5)``."""
+        return F.softmax(self.forward(features, adjacency, order), axis=-1)

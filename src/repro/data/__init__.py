@@ -1,0 +1,21 @@
+"""Benchmark clip suites.
+
+Deterministic generators reproducing the paper's dataset *shapes*: via
+clips after [17] (2 um windows, 70 nm vias, train 11 / test 13 with the
+exact per-clip via counts of Table 1) and metal clips (1.5 um windows,
+60 nm measure spacing, M1..M10 with the exact measure-point counts of
+Table 2, standard-cell-like and regular categories).
+"""
+
+from repro.data.via_bench import via_test_suite, via_train_suite
+from repro.data.metal_bench import metal_test_suite, metal_train_suite
+from repro.data.stdcell import stdcell_metal_clip, regular_metal_clip
+
+__all__ = [
+    "via_train_suite",
+    "via_test_suite",
+    "metal_train_suite",
+    "metal_test_suite",
+    "stdcell_metal_clip",
+    "regular_metal_clip",
+]

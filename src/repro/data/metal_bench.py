@@ -1,0 +1,44 @@
+"""Metal-layer benchmark clips (paper Section 4.3, Table 2).
+
+M1..M10 with the exact measure-point counts of Table 2:
+[64, 84, 88, 100, 106, 112, 116, 24, 72, 120] (sum 886).  M8 and M9 are
+"regular" pattern clips; the rest are standard-cell-routed style.
+"""
+
+from __future__ import annotations
+
+from repro.data.stdcell import regular_metal_clip, stdcell_metal_clip
+from repro.errors import DataError
+from repro.geometry.layout import Clip
+
+METAL_TEST_POINTS: tuple[int, ...] = (64, 84, 88, 100, 106, 112, 116, 24, 72, 120)
+"""Measure points per clip M1..M10 (Table 2)."""
+
+_REGULAR_CLIPS = {"M8", "M9"}
+
+METAL_TRAIN_POINTS: tuple[int, ...] = (48, 60, 72, 80, 96, 104)
+"""Training clips for the metal experiments (not tabulated in the paper)."""
+
+
+def metal_test_suite(base_seed: int = 4500) -> list[Clip]:
+    """M1..M10 with Table 2's measure-point counts."""
+    clips: list[Clip] = []
+    for index, points in enumerate(METAL_TEST_POINTS):
+        name = f"M{index + 1}"
+        clips.append(_make_clip(name, points, base_seed + index))
+    return clips
+
+
+def metal_train_suite(base_seed: int = 8200) -> list[Clip]:
+    return [
+        _make_clip(f"MT{i + 1}", points, base_seed + i)
+        for i, points in enumerate(METAL_TRAIN_POINTS)
+    ]
+
+
+def _make_clip(name: str, points: int, seed: int) -> Clip:
+    if points % 2:
+        raise DataError(f"{name}: odd measure-point count {points}")
+    if name in _REGULAR_CLIPS:
+        return regular_metal_clip(name, points, seed=seed)
+    return stdcell_metal_clip(name, points, seed=seed)

@@ -1,0 +1,145 @@
+"""Synthetic standard-cell-style metal layout generation.
+
+The paper samples metal clips from an OpenROAD-placed-and-routed NanGate45
+layout plus clips with regular metal patterns.  Offline we synthesize the
+same statistics: rows of preferred-direction (horizontal) wires with
+standard widths, varied lengths and x-offsets (the "routed" category), and
+uniform line/space gratings (the "regular" category).  Wire lengths are
+chosen so each clip hits an exact measure-point budget — Table 2 reports
+the per-clip point counts, and the generators reproduce them exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import MEASURE_SPACING_NM, METAL_CLIP_NM
+from repro.errors import DataError
+from repro.geometry.layout import Clip
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+
+_MARGIN_NM = 120.0
+_WIRE_WIDTHS = (60.0, 70.0, 80.0)
+_ROW_PITCH_MIN = 150.0
+
+
+def _wire_length_for_points(points_per_edge: int, spacing: float) -> float:
+    """A length whose horizontal edge carries exactly ``points_per_edge``
+    measure points: ``n`` points need ``length // spacing == n``."""
+    return points_per_edge * spacing + spacing / 2
+
+
+def _split_points_into_rows(
+    half_points: int, max_per_row: int
+) -> list[int]:
+    """Split a clip's measure-point budget across wire rows.
+
+    Each wire contributes ``2 k`` points (top + bottom edge with ``k``
+    points each); ``half_points`` is the total ``sum k`` target.
+    """
+    if half_points < 1:
+        raise DataError(f"need a positive point budget, got {half_points}")
+    rows: list[int] = []
+    remaining = half_points
+    while remaining > 0:
+        take = min(max_per_row, remaining)
+        # Avoid a trailing sliver wire with a single point when possible.
+        if 0 < remaining - take == 1 and take > 2:
+            take -= 1
+        rows.append(take)
+        remaining -= take
+    return rows
+
+
+def stdcell_metal_clip(
+    name: str,
+    measure_points: int,
+    seed: int,
+    clip_nm: float = METAL_CLIP_NM,
+    spacing: float = MEASURE_SPACING_NM,
+) -> Clip:
+    """A routed-looking clip with exactly ``measure_points`` EPE points."""
+    if measure_points % 2:
+        raise DataError("measure_points must be even (top+bottom edges)")
+    rng = np.random.default_rng(seed)
+    usable = clip_nm - 2 * _MARGIN_NM
+    max_k_per_row = int((usable - spacing) // spacing)
+    rows = _split_points_into_rows(measure_points // 2, max_k_per_row)
+    if len(rows) * _ROW_PITCH_MIN > usable:
+        raise DataError(
+            f"{name}: {measure_points} points need {len(rows)} rows; clip too small"
+        )
+
+    pitch = usable / len(rows)
+    wires: list[Polygon] = []
+    for row_index, k in enumerate(rows):
+        width = float(rng.choice(_WIRE_WIDTHS))
+        length = _wire_length_for_points(k, spacing)
+        slack = usable - length
+        x0 = _MARGIN_NM + float(rng.uniform(0, max(slack, 0)))
+        y_center = _MARGIN_NM + (row_index + 0.5) * pitch
+        wires.append(
+            Polygon.from_rect(
+                Rect(
+                    round(x0),
+                    round(y_center - width / 2),
+                    round(x0 + length),
+                    round(y_center + width / 2),
+                )
+            )
+        )
+    return Clip(
+        name=name,
+        bbox=Rect(0, 0, clip_nm, clip_nm),
+        targets=tuple(wires),
+        layer="metal",
+        metadata={"seed": seed, "category": "stdcell", "points": measure_points},
+    )
+
+
+def regular_metal_clip(
+    name: str,
+    measure_points: int,
+    seed: int = 0,
+    clip_nm: float = METAL_CLIP_NM,
+    spacing: float = MEASURE_SPACING_NM,
+    width: float = 70.0,
+) -> Clip:
+    """A regular line/space grating with exactly ``measure_points`` points.
+
+    All wires share one length and alignment — the paper's "clips with
+    regular metal patterns" category.
+    """
+    if measure_points % 2:
+        raise DataError("measure_points must be even")
+    half = measure_points // 2
+    usable = clip_nm - 2 * _MARGIN_NM
+    max_k_per_row = int((usable - spacing) // spacing)
+    n_rows = 1
+    while half % n_rows or half // n_rows > max_k_per_row:
+        n_rows += 1
+        if n_rows > 12:
+            raise DataError(f"{name}: cannot tile {measure_points} points regularly")
+    k = half // n_rows
+    length = _wire_length_for_points(k, spacing)
+    x0 = _MARGIN_NM + (usable - length) / 2
+    pitch = usable / n_rows
+    wires = tuple(
+        Polygon.from_rect(
+            Rect(
+                round(x0),
+                round(_MARGIN_NM + (i + 0.5) * pitch - width / 2),
+                round(x0 + length),
+                round(_MARGIN_NM + (i + 0.5) * pitch + width / 2),
+            )
+        )
+        for i in range(n_rows)
+    )
+    return Clip(
+        name=name,
+        bbox=Rect(0, 0, clip_nm, clip_nm),
+        targets=wires,
+        layer="metal",
+        metadata={"seed": seed, "category": "regular", "points": measure_points},
+    )

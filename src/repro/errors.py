@@ -1,0 +1,56 @@
+"""Exception hierarchy for the CAMO reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch package-specific failures without masking programming
+errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric input (degenerate rects, non-rectilinear polygons...)."""
+
+
+class RasterError(ReproError):
+    """Rasterization failure (empty grids, out-of-window geometry...)."""
+
+
+class SegmentationError(ReproError):
+    """Boundary fragmentation failure (segments too short, bad spacing...)."""
+
+
+class LithoError(ReproError):
+    """Lithography model failure (bad kernels, non-converged TCC...)."""
+
+
+class MetrologyError(ReproError):
+    """EPE / PV-band measurement failure (no contour crossing found...)."""
+
+
+class SquishError(ReproError):
+    """Squish-pattern encoding failure (window too small, overflow...)."""
+
+
+class GraphError(ReproError):
+    """Segment-graph construction failure."""
+
+
+class NNError(ReproError):
+    """Neural-network framework failure (shape mismatch, detached grads...)."""
+
+
+class RLError(ReproError):
+    """Reinforcement-learning loop failure."""
+
+
+class DataError(ReproError):
+    """Benchmark-suite generation or (de)serialization failure."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration value."""

@@ -1,0 +1,46 @@
+"""Result records for the comparison tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class EngineRow:
+    """One engine's result on one clip (a cell triple of Tables 1/2)."""
+
+    clip_name: str
+    epe_nm: float
+    pvband_nm2: float
+    runtime_s: float
+    steps: int = 0
+    early_exited: bool = False
+
+
+@dataclass
+class SuiteResult:
+    """One engine's results over a whole benchmark suite."""
+
+    engine: str
+    rows: list[EngineRow] = field(default_factory=list)
+
+    def add(self, row: EngineRow) -> None:
+        self.rows.append(row)
+
+    @property
+    def epe_sum(self) -> float:
+        return sum(r.epe_nm for r in self.rows)
+
+    @property
+    def pvband_sum(self) -> float:
+        return sum(r.pvband_nm2 for r in self.rows)
+
+    @property
+    def runtime_sum(self) -> float:
+        return sum(r.runtime_s for r in self.rows)
+
+    def row_for(self, clip_name: str) -> EngineRow:
+        for row in self.rows:
+            if row.clip_name == clip_name:
+                return row
+        raise KeyError(clip_name)

@@ -1,0 +1,44 @@
+"""One-call quickstart used by ``repro.quick_opc()``."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.mbopc import MBOPC, MBOPCConfig
+from repro.constants import VIA_INITIAL_BIAS_NM
+from repro.core.agent import CAMO, OptimizeResult
+from repro.core.config import CamoConfig
+from repro.data.via_bench import generate_via_clip
+from repro.litho.simulator import LithoConfig, LithographySimulator
+
+
+@dataclass
+class QuickResult:
+    """CAMO vs the model-based baseline on one tiny generated clip."""
+
+    camo: OptimizeResult
+    baseline: OptimizeResult
+
+    def summary(self) -> str:
+        lines = [
+            "quick_opc: 2-via clip, CAMO (untrained policy, modulator-driven)",
+            f"  initial EPE : {self.camo.epe_curve[0]:.1f} nm",
+            f"  CAMO        : EPE {self.camo.epe_total:.1f} nm in "
+            f"{self.camo.steps} steps ({self.camo.runtime_s:.2f} s)",
+            f"  MB-OPC      : EPE {self.baseline.epe_total:.1f} nm in "
+            f"{self.baseline.steps} steps ({self.baseline.runtime_s:.2f} s)",
+        ]
+        return "\n".join(lines)
+
+
+def quick_opc() -> QuickResult:
+    """Optimize one small via clip with CAMO and the MB-OPC baseline."""
+    simulator = LithographySimulator(LithoConfig(pixel_nm=4.0, max_kernels=6))
+    clip = generate_via_clip("quickstart", n_vias=2, seed=7)
+    camo = CAMO(
+        CamoConfig(encode_size=16, imitation_epochs=0, rl_epochs=0,
+                   policy_temperature=1e6),
+        simulator,
+    )
+    baseline = MBOPC(MBOPCConfig(initial_bias_nm=VIA_INITIAL_BIAS_NM), simulator)
+    return QuickResult(camo=camo.optimize(clip), baseline=baseline.optimize(clip))

@@ -1,0 +1,39 @@
+"""Run an OPC engine over a benchmark suite, collecting table rows."""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.eval.metrics import EngineRow, SuiteResult
+from repro.geometry.layout import Clip
+
+
+class OPCEngine(Protocol):
+    """Anything with an ``optimize(clip) -> result`` method where the result
+    exposes ``epe_total``, ``pvband``, ``runtime_s``, ``steps`` and
+    ``early_exited`` (CAMO, MBOPC, RLOPC, DamoLikeOPC, PixelILT)."""
+
+    def optimize(self, clip: Clip, **kwargs): ...
+
+
+def run_engine_on_suite(
+    engine: OPCEngine,
+    clips: list[Clip],
+    engine_name: str,
+    **optimize_kwargs,
+) -> SuiteResult:
+    """Optimize every clip and collect (EPE, PVB, RT) rows."""
+    result = SuiteResult(engine=engine_name)
+    for clip in clips:
+        outcome = engine.optimize(clip, **optimize_kwargs)
+        result.add(
+            EngineRow(
+                clip_name=clip.name,
+                epe_nm=outcome.epe_total,
+                pvband_nm2=outcome.pvband,
+                runtime_s=outcome.runtime_s,
+                steps=outcome.steps,
+                early_exited=outcome.early_exited,
+            )
+        )
+    return result

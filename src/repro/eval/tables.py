@@ -1,0 +1,98 @@
+"""Paper-format comparison tables.
+
+Reproduces the layout of Tables 1 and 2: one row per design with an
+(EPE, PVB, RT) triple per engine, a Sum row, and a Ratio row normalized to
+the last engine ("Ours").
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.eval.metrics import SuiteResult
+
+
+def format_comparison_table(
+    results: list[SuiteResult],
+    design_counts: dict[str, int] | None = None,
+    count_header: str = "Via #",
+    title: str = "",
+) -> str:
+    """Render engine results side by side, paper style.
+
+    Args:
+        results: One :class:`SuiteResult` per engine; the *last* one is the
+            ratio reference ("Ours").
+        design_counts: Optional per-design count column (via or point #).
+        count_header: Header for that column.
+        title: Optional caption line.
+    """
+    if not results:
+        raise ReproError("no results to tabulate")
+    clip_names = [row.clip_name for row in results[0].rows]
+    for result in results[1:]:
+        if [r.clip_name for r in result.rows] != clip_names:
+            raise ReproError("engines evaluated different clip sets")
+
+    headers = ["Design"]
+    if design_counts is not None:
+        headers.append(count_header)
+    for result in results:
+        headers.extend([f"{result.engine}.EPE", f"{result.engine}.PVB", f"{result.engine}.RT"])
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    body: list[list[str]] = []
+    for name in clip_names:
+        row: list[str] = [name]
+        if design_counts is not None:
+            row.append(str(design_counts.get(name, "")))
+        for result in results:
+            cell = result.row_for(name)
+            row.extend(
+                [f"{cell.epe_nm:.0f}", f"{cell.pvband_nm2:.0f}", f"{cell.runtime_s:.2f}"]
+            )
+        body.append(row)
+
+    sum_row: list[str] = ["Sum"]
+    if design_counts is not None:
+        sum_row.append(str(sum(design_counts.get(n, 0) for n in clip_names)))
+    for result in results:
+        sum_row.extend(
+            [
+                f"{result.epe_sum:.0f}",
+                f"{result.pvband_sum:.0f}",
+                f"{result.runtime_sum:.2f}",
+            ]
+        )
+    body.append(sum_row)
+
+    reference = results[-1]
+    ratio_row: list[str] = ["Ratio"]
+    if design_counts is not None:
+        ratio_row.append("")
+    for result in results:
+        ratio_row.extend(
+            [
+                _ratio(result.epe_sum, reference.epe_sum),
+                _ratio(result.pvband_sum, reference.pvband_sum),
+                _ratio(result.runtime_sum, reference.runtime_sum),
+            ]
+        )
+    body.append(ratio_row)
+
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in body))
+        for i in range(len(headers))
+    ]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _ratio(value: float, reference: float) -> str:
+    if reference == 0:
+        return "n/a"
+    return f"{value / reference:.2f}"

@@ -1,0 +1,28 @@
+"""Rectilinear geometry substrate: rects, polygons, clips, rasterization,
+boundary fragmentation, segment-offset mask editing and SRAF insertion.
+
+This package provides everything the OPC engines need to represent a layout
+clip and to turn per-segment movement decisions back into mask polygons.
+"""
+
+from repro.geometry.rect import Rect
+from repro.geometry.polygon import Polygon
+from repro.geometry.layout import Clip
+from repro.geometry.raster import Grid, rasterize
+from repro.geometry.segmentation import Segment, fragment_clip, fragment_polygon
+from repro.geometry.mask_edit import MaskState, apply_offsets
+from repro.geometry.sraf import insert_srafs
+
+__all__ = [
+    "Rect",
+    "Polygon",
+    "Clip",
+    "Grid",
+    "rasterize",
+    "Segment",
+    "fragment_clip",
+    "fragment_polygon",
+    "MaskState",
+    "apply_offsets",
+    "insert_srafs",
+]

@@ -1,0 +1,63 @@
+"""Layout clips: the unit of work for every OPC engine in this project.
+
+A :class:`Clip` bundles the target patterns (what we want printed), any
+sub-resolution assist features (SRAFs — printed on the mask but not meant to
+resolve), and metadata such as the layer kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.errors import GeometryError
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True)
+class Clip:
+    """A rectangular layout window with target patterns and optional SRAFs.
+
+    Attributes:
+        name: Benchmark identifier, e.g. ``"V3"`` or ``"M10"``.
+        bbox: The clip window in nanometres.
+        targets: Design polygons that must print.
+        srafs: Assist polygons present on the mask but not in the target.
+        layer: ``"via"`` or ``"metal"`` — selects fragmentation and
+            measure-point rules.
+        metadata: Free-form extras (via count, generator seed...).
+    """
+
+    name: str
+    bbox: Rect
+    targets: tuple[Polygon, ...]
+    srafs: tuple[Polygon, ...] = ()
+    layer: str = "via"
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.layer not in ("via", "metal"):
+            raise GeometryError(f"unknown layer kind: {self.layer!r}")
+        if not self.targets:
+            raise GeometryError(f"clip {self.name!r} has no target polygons")
+        for poly in (*self.targets, *self.srafs):
+            if not self.bbox.contains_rect(poly.bbox):
+                raise GeometryError(
+                    f"clip {self.name!r}: polygon bbox {poly.bbox} outside window"
+                )
+
+    @property
+    def target_count(self) -> int:
+        return len(self.targets)
+
+    def with_srafs(self, srafs: tuple[Polygon, ...]) -> "Clip":
+        """Return a copy with the SRAF set replaced."""
+        return replace(self, srafs=srafs)
+
+    def without_srafs(self) -> "Clip":
+        return replace(self, srafs=())
+
+    def all_polygons(self) -> tuple[Polygon, ...]:
+        """Targets followed by SRAFs (the full initial mask content)."""
+        return (*self.targets, *self.srafs)

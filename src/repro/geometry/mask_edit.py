@@ -1,0 +1,135 @@
+"""Mask reconstruction from per-segment offsets.
+
+OPC in this project is *edge-based*: the target polygon boundary is
+fragmented once (see :mod:`repro.geometry.segmentation`) and each fragment
+carries an accumulated offset along its outward normal.  This module turns
+``(polygon, fragments, offsets)`` back into a rectilinear mask polygon,
+inserting perpendicular jogs where neighbouring fragments sit at different
+offsets and intersecting offset lines at corners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import MAX_SEGMENT_OFFSET_NM
+from repro.errors import GeometryError
+from repro.geometry.layout import Clip
+from repro.geometry.polygon import Polygon
+from repro.geometry.segmentation import Segment
+
+
+def apply_offsets(
+    segments: list[Segment], offsets: np.ndarray | list[float]
+) -> Polygon:
+    """Rebuild one polygon from its CCW fragment list and offset vector.
+
+    ``offsets[i]`` is the accumulated outward displacement (nm, negative =
+    inward) of ``segments[i]``.  Fragments must all belong to the same
+    polygon and be given in boundary order.
+    """
+    offs = np.asarray(offsets, dtype=np.float64)
+    if len(segments) != len(offs):
+        raise GeometryError(
+            f"{len(segments)} segments but {len(offs)} offsets"
+        )
+    if len(segments) < 4:
+        raise GeometryError("need at least 4 fragments to rebuild a polygon")
+
+    levels = []
+    for segment, off in zip(segments, offs):
+        nx, ny = segment.normal
+        shift = off * (ny if segment.axis == "h" else nx)
+        levels.append(segment.level + shift)
+
+    vertices: list[tuple[float, float]] = []
+    n = len(segments)
+    for i in range(n):
+        j = (i + 1) % n
+        seg_i, seg_j = segments[i], segments[j]
+        if seg_i.axis != seg_j.axis:
+            # Corner: intersect the two offset lines.
+            if seg_i.axis == "h":
+                vertices.append((levels[j], levels[i]))
+            else:
+                vertices.append((levels[i], levels[j]))
+        else:
+            # Same-axis junction: jog at the shared fragment boundary.
+            if seg_i.axis == "h":
+                x_shared = seg_i.b[0]
+                vertices.append((x_shared, levels[i]))
+                vertices.append((x_shared, levels[j]))
+            else:
+                y_shared = seg_i.b[1]
+                vertices.append((levels[i], y_shared))
+                vertices.append((levels[j], y_shared))
+
+    return Polygon(tuple(vertices))
+
+
+@dataclass
+class MaskState:
+    """The evolving mask: a clip, its fragmentation, and accumulated offsets.
+
+    Immutable-in-practice: :meth:`moved` returns a new state.  Offsets are
+    clamped to ``+/- max_offset`` so reconstructed polygons stay simple.
+    """
+
+    clip: Clip
+    segments: list[Segment]
+    offsets: np.ndarray
+    max_offset: int = MAX_SEGMENT_OFFSET_NM
+    _polygons: tuple[Polygon, ...] | None = field(default=None, repr=False)
+
+    @classmethod
+    def initial(
+        cls,
+        clip: Clip,
+        segments: list[Segment],
+        bias_nm: float = 0.0,
+        max_offset: int = MAX_SEGMENT_OFFSET_NM,
+    ) -> "MaskState":
+        """Starting state; ``bias_nm`` applies a uniform outward bias
+        (the paper starts via masks 3 nm outward)."""
+        offsets = np.full(len(segments), float(bias_nm), dtype=np.float64)
+        return cls(clip=clip, segments=segments, offsets=offsets, max_offset=max_offset)
+
+    @property
+    def n_segments(self) -> int:
+        return len(self.segments)
+
+    def moved(self, deltas: np.ndarray | list[float]) -> "MaskState":
+        """New state with ``deltas`` (nm per segment) added and clamped."""
+        deltas_arr = np.asarray(deltas, dtype=np.float64)
+        if deltas_arr.shape != self.offsets.shape:
+            raise GeometryError(
+                f"delta shape {deltas_arr.shape} != offsets shape {self.offsets.shape}"
+            )
+        new_offsets = np.clip(
+            self.offsets + deltas_arr, -self.max_offset, self.max_offset
+        )
+        return MaskState(
+            clip=self.clip,
+            segments=self.segments,
+            offsets=new_offsets,
+            max_offset=self.max_offset,
+        )
+
+    def mask_polygons(self) -> tuple[Polygon, ...]:
+        """Current mask: offset target polygons plus untouched SRAFs."""
+        if self._polygons is None:
+            by_poly: dict[int, list[int]] = {}
+            for k, segment in enumerate(self.segments):
+                by_poly.setdefault(segment.poly_index, []).append(k)
+            rebuilt: list[Polygon] = []
+            for poly_index in range(len(self.clip.targets)):
+                seg_ids = by_poly.get(poly_index)
+                if not seg_ids:
+                    rebuilt.append(self.clip.targets[poly_index])
+                    continue
+                segs = [self.segments[k] for k in seg_ids]
+                rebuilt.append(apply_offsets(segs, self.offsets[seg_ids]))
+            self._polygons = (*rebuilt, *self.clip.srafs)
+        return self._polygons

@@ -1,0 +1,215 @@
+"""Rectilinear (Manhattan) polygons.
+
+A polygon is a closed, simple, axis-aligned boundary stored as an ordered
+vertex list.  All OPC mask shapes in this project are rectilinear, which
+lets segment movement stay exact: every edge is horizontal or vertical and
+moves along its outward normal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import GeometryError
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One directed boundary edge from ``a`` to ``b`` (axis-aligned)."""
+
+    a: tuple[float, float]
+    b: tuple[float, float]
+
+    @property
+    def axis(self) -> str:
+        """``'h'`` for horizontal edges, ``'v'`` for vertical ones."""
+        return "h" if self.a[1] == self.b[1] else "v"
+
+    @property
+    def length(self) -> float:
+        return abs(self.b[0] - self.a[0]) + abs(self.b[1] - self.a[1])
+
+    @property
+    def midpoint(self) -> tuple[float, float]:
+        return ((self.a[0] + self.b[0]) / 2, (self.a[1] + self.b[1]) / 2)
+
+    @property
+    def direction(self) -> tuple[int, int]:
+        """Unit direction of travel along the edge."""
+        dx = self.b[0] - self.a[0]
+        dy = self.b[1] - self.a[1]
+        length = abs(dx) + abs(dy)
+        return (round(dx / length), round(dy / length))
+
+    @property
+    def outward_normal(self) -> tuple[int, int]:
+        """Unit outward normal, assuming the polygon is counter-clockwise.
+
+        For a CCW boundary the interior lies to the left of the direction of
+        travel, so the outward normal is the right-hand perpendicular.
+        """
+        dx, dy = self.direction
+        return (dy, -dx)
+
+
+@dataclass(frozen=True)
+class Polygon:
+    """A simple rectilinear polygon with counter-clockwise vertex order.
+
+    Vertices are ``(x, y)`` nanometre pairs; the boundary closes implicitly
+    from the last vertex back to the first.  Construction validates
+    rectilinearity and normalizes orientation to CCW.
+    """
+
+    vertices: tuple[tuple[float, float], ...] = field()
+
+    def __post_init__(self) -> None:
+        verts = [tuple(map(float, v)) for v in self.vertices]
+        if len(verts) < 4:
+            raise GeometryError(f"polygon needs >= 4 vertices, got {len(verts)}")
+        cleaned = _drop_redundant_vertices(verts)
+        if len(cleaned) < 4:
+            raise GeometryError("polygon degenerates after vertex cleanup")
+        for i, a in enumerate(cleaned):
+            b = cleaned[(i + 1) % len(cleaned)]
+            if a[0] != b[0] and a[1] != b[1]:
+                raise GeometryError(f"non-rectilinear edge {a} -> {b}")
+        if _signed_area(cleaned) < 0:
+            cleaned = cleaned[::-1]
+        if _signed_area(cleaned) == 0:
+            raise GeometryError("zero-area polygon")
+        object.__setattr__(self, "vertices", tuple(cleaned))
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def from_rect(cls, rect: Rect) -> "Polygon":
+        """Four-vertex CCW polygon from a rect."""
+        return cls(
+            (
+                (rect.x0, rect.y0),
+                (rect.x1, rect.y0),
+                (rect.x1, rect.y1),
+                (rect.x0, rect.y1),
+            )
+        )
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def area(self) -> float:
+        """Enclosed area (always positive: vertices are CCW)."""
+        return _signed_area(list(self.vertices))
+
+    @property
+    def perimeter(self) -> float:
+        return sum(edge.length for edge in self.edges())
+
+    @property
+    def bbox(self) -> Rect:
+        xs = [v[0] for v in self.vertices]
+        ys = [v[1] for v in self.vertices]
+        return Rect(min(xs), min(ys), max(xs), max(ys))
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate boundary edges in CCW order."""
+        n = len(self.vertices)
+        for i in range(n):
+            yield Edge(self.vertices[i], self.vertices[(i + 1) % n])
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """Even-odd point-in-polygon test (boundary points count as inside)."""
+        inside = False
+        n = len(self.vertices)
+        for i in range(n):
+            ax, ay = self.vertices[i]
+            bx, by = self.vertices[(i + 1) % n]
+            if ax == bx:  # vertical edge
+                if x == ax and min(ay, by) <= y <= max(ay, by):
+                    return True
+                if min(ay, by) <= y < max(ay, by) and x < ax:
+                    inside = not inside
+            else:  # horizontal edge
+                if y == ay and min(ax, bx) <= x <= max(ax, bx):
+                    return True
+        return inside
+
+    def is_simple(self) -> bool:
+        """True iff no two non-adjacent edges intersect.
+
+        Quadratic check — boundaries here have at most a few hundred edges.
+        """
+        edge_list = list(self.edges())
+        n = len(edge_list)
+        for i in range(n):
+            for j in range(i + 1, n):
+                if j == i or (j == (i + 1) % n) or (i == (j + 1) % n):
+                    continue
+                if _edges_cross(edge_list[i], edge_list[j]):
+                    return False
+        return True
+
+    # -- editing ----------------------------------------------------------
+    def translated(self, dx: float, dy: float) -> "Polygon":
+        return Polygon(tuple((x + dx, y + dy) for x, y in self.vertices))
+
+    def scaled(self, factor: float) -> "Polygon":
+        if factor <= 0:
+            raise GeometryError(f"scale factor must be positive, got {factor}")
+        return Polygon(tuple((x * factor, y * factor) for x, y in self.vertices))
+
+
+def _signed_area(vertices: list[tuple[float, float]]) -> float:
+    """Shoelace signed area: positive for CCW order."""
+    total = 0.0
+    n = len(vertices)
+    for i in range(n):
+        x0, y0 = vertices[i]
+        x1, y1 = vertices[(i + 1) % n]
+        total += x0 * y1 - x1 * y0
+    return total / 2.0
+
+
+def _drop_redundant_vertices(
+    vertices: list[tuple[float, float]],
+) -> list[tuple[float, float]]:
+    """Remove consecutive duplicates and collinear middle vertices."""
+    dedup: list[tuple[float, float]] = []
+    for vertex in vertices:
+        if not dedup or dedup[-1] != vertex:
+            dedup.append(vertex)
+    if len(dedup) > 1 and dedup[0] == dedup[-1]:
+        dedup.pop()
+    result: list[tuple[float, float]] = []
+    n = len(dedup)
+    for i in range(n):
+        prev_v = dedup[(i - 1) % n]
+        cur = dedup[i]
+        nxt = dedup[(i + 1) % n]
+        collinear_x = prev_v[0] == cur[0] == nxt[0]
+        collinear_y = prev_v[1] == cur[1] == nxt[1]
+        if not (collinear_x or collinear_y):
+            result.append(cur)
+    return result
+
+
+def _edges_cross(e1: Edge, e2: Edge) -> bool:
+    """True iff two axis-aligned edges properly intersect or overlap."""
+    if e1.axis == e2.axis:
+        if e1.axis == "h":
+            if e1.a[1] != e2.a[1]:
+                return False
+            lo1, hi1 = sorted((e1.a[0], e1.b[0]))
+            lo2, hi2 = sorted((e2.a[0], e2.b[0]))
+            return max(lo1, lo2) < min(hi1, hi2)
+        if e1.a[0] != e2.a[0]:
+            return False
+        lo1, hi1 = sorted((e1.a[1], e1.b[1]))
+        lo2, hi2 = sorted((e2.a[1], e2.b[1]))
+        return max(lo1, lo2) < min(hi1, hi2)
+    horizontal, vertical = (e1, e2) if e1.axis == "h" else (e2, e1)
+    hy = horizontal.a[1]
+    vx = vertical.a[0]
+    hx_lo, hx_hi = sorted((horizontal.a[0], horizontal.b[0]))
+    vy_lo, vy_hi = sorted((vertical.a[1], vertical.b[1]))
+    return hx_lo < vx < hx_hi and vy_lo < hy < vy_hi

@@ -1,0 +1,100 @@
+"""Axis-aligned rectangle in nanometre coordinates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GeometryError
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned rectangle ``[x0, x1] x [y0, y1]`` with ``x0 < x1, y0 < y1``.
+
+    Coordinates are nanometres.  Rects are immutable; editing operations
+    return new instances.
+    """
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if not (self.x0 < self.x1 and self.y0 < self.y1):
+            raise GeometryError(
+                f"degenerate rect: ({self.x0}, {self.y0}, {self.x1}, {self.y1})"
+            )
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def from_center(cls, cx: float, cy: float, width: float, height: float) -> "Rect":
+        """Build a rect centred on ``(cx, cy)``."""
+        return cls(cx - width / 2, cy - height / 2, cx + width / 2, cy + height / 2)
+
+    @classmethod
+    def square(cls, cx: float, cy: float, size: float) -> "Rect":
+        """Build a square of edge ``size`` centred on ``(cx, cy)``."""
+        return cls.from_center(cx, cy, size, size)
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return ((self.x0 + self.x1) / 2, (self.y0 + self.y1) / 2)
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """True iff ``(x, y)`` lies inside or on the boundary."""
+        return self.x0 <= x <= self.x1 and self.y0 <= y <= self.y1
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True iff ``other`` lies entirely inside (or on) this rect."""
+        return (
+            self.x0 <= other.x0
+            and self.y0 <= other.y0
+            and other.x1 <= self.x1
+            and other.y1 <= self.y1
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True iff the two rects overlap with positive area."""
+        return (
+            self.x0 < other.x1
+            and other.x0 < self.x1
+            and self.y0 < other.y1
+            and other.y0 < self.y1
+        )
+
+    def distance_to(self, other: "Rect") -> float:
+        """Euclidean gap between two rects (0 when they touch or overlap)."""
+        dx = max(0.0, max(self.x0, other.x0) - min(self.x1, other.x1))
+        dy = max(0.0, max(self.y0, other.y0) - min(self.y1, other.y1))
+        return (dx * dx + dy * dy) ** 0.5
+
+    # -- editing ----------------------------------------------------------
+    def expanded(self, margin: float) -> "Rect":
+        """Grow (or shrink, for negative margin) every side by ``margin``."""
+        return Rect(self.x0 - margin, self.y0 - margin, self.x1 + margin, self.y1 + margin)
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.x0 + dx, self.y0 + dy, self.x1 + dx, self.y1 + dy)
+
+    def union_bbox(self, other: "Rect") -> "Rect":
+        """Smallest rect covering both."""
+        return Rect(
+            min(self.x0, other.x0),
+            min(self.y0, other.y0),
+            max(self.x1, other.x1),
+            max(self.y1, other.y1),
+        )

@@ -1,0 +1,67 @@
+"""Rule-based sub-resolution assist feature (SRAF) insertion.
+
+The paper inserts SRAFs with Calibre before CAMO starts and keeps them in
+the squish encoding.  We reproduce the standard rule-based flavour: thin
+scatter bars placed parallel to each via edge at a fixed centre distance,
+dropped whenever they would collide with a target, another SRAF, or the
+clip boundary.  Bars are sub-resolution (20 nm wide) so they never print
+under the nominal threshold, but they steepen the image slope at via edges.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.layout import Clip
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+
+SRAF_WIDTH_NM: float = 20.0
+SRAF_LENGTH_NM: float = 80.0
+SRAF_DISTANCE_NM: float = 100.0
+"""Distance from via centre to scatter-bar centreline."""
+
+SRAF_CLEARANCE_NM: float = 25.0
+"""Minimum gap between an SRAF and any other shape."""
+
+
+def insert_srafs(clip: Clip) -> Clip:
+    """Return a copy of ``clip`` with rule-based scatter bars added.
+
+    Only meaningful for via layers; metal clips are returned unchanged
+    (matching the paper, which only mentions SRAFs for the via experiments).
+    """
+    if clip.layer != "via":
+        return clip
+
+    placed: list[Rect] = []
+    obstacles = [poly.bbox for poly in clip.targets]
+
+    for target in clip.targets:
+        cx, cy = target.bbox.center
+        candidates = (
+            # horizontal bars above / below
+            Rect.from_center(cx, cy + SRAF_DISTANCE_NM, SRAF_LENGTH_NM, SRAF_WIDTH_NM),
+            Rect.from_center(cx, cy - SRAF_DISTANCE_NM, SRAF_LENGTH_NM, SRAF_WIDTH_NM),
+            # vertical bars left / right
+            Rect.from_center(cx + SRAF_DISTANCE_NM, cy, SRAF_WIDTH_NM, SRAF_LENGTH_NM),
+            Rect.from_center(cx - SRAF_DISTANCE_NM, cy, SRAF_WIDTH_NM, SRAF_LENGTH_NM),
+        )
+        for bar in candidates:
+            if _placeable(bar, clip.bbox, obstacles, placed):
+                placed.append(bar)
+
+    srafs = tuple(Polygon.from_rect(bar) for bar in placed)
+    return clip.with_srafs(srafs)
+
+
+def _placeable(
+    bar: Rect, window: Rect, obstacles: list[Rect], placed: list[Rect]
+) -> bool:
+    if not window.contains_rect(bar):
+        return False
+    for rect in obstacles:
+        if bar.expanded(SRAF_CLEARANCE_NM).intersects(rect):
+            return False
+    for rect in placed:
+        if bar.expanded(SRAF_CLEARANCE_NM).intersects(rect):
+            return False
+    return True

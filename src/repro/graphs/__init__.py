@@ -1,0 +1,12 @@
+"""Segment-graph construction and RNN visit ordering."""
+
+from repro.graphs.construction import SegmentGraph, build_segment_graph
+from repro.graphs.ordering import bfs_order, nearest_neighbor_order, snake_order
+
+__all__ = [
+    "SegmentGraph",
+    "build_segment_graph",
+    "snake_order",
+    "nearest_neighbor_order",
+    "bfs_order",
+]

@@ -1,0 +1,87 @@
+"""Segment graph construction (paper Section 3.2, "Graph Construction").
+
+Each graph node is one boundary segment; an undirected edge connects two
+nodes whenever their control points are closer than a threshold (250 nm in
+the paper).  The node set and edge set are fixed for the whole OPC run —
+only node features are refreshed as the mask moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import GRAPH_EDGE_THRESHOLD_NM
+from repro.errors import GraphError
+from repro.geometry.segmentation import Segment
+
+
+@dataclass
+class SegmentGraph:
+    """Fixed-topology proximity graph over a clip's segments.
+
+    Attributes:
+        segments: The node list (graph node ``i`` is ``segments[i]``).
+        neighbors: Adjacency lists by node index (sorted, no self loops).
+        threshold_nm: Distance threshold used to build the edges.
+    """
+
+    segments: list[Segment]
+    neighbors: list[list[int]]
+    threshold_nm: float
+    _edges: list[tuple[int, int]] | None = field(default=None, repr=False)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.segments)
+
+    @property
+    def edges(self) -> list[tuple[int, int]]:
+        """Undirected edge list with ``i < j``."""
+        if self._edges is None:
+            self._edges = [
+                (i, j)
+                for i, adj in enumerate(self.neighbors)
+                for j in adj
+                if i < j
+            ]
+        return self._edges
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.edges)
+
+    def degree(self, node: int) -> int:
+        return len(self.neighbors[node])
+
+    def to_networkx(self):
+        """Optional networkx view, for analysis and tests."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.n_nodes))
+        graph.add_edges_from(self.edges)
+        return graph
+
+
+def build_segment_graph(
+    segments: list[Segment],
+    threshold_nm: float = GRAPH_EDGE_THRESHOLD_NM,
+) -> SegmentGraph:
+    """Connect segments whose control points are within ``threshold_nm``."""
+    if not segments:
+        raise GraphError("cannot build a graph over zero segments")
+    if threshold_nm <= 0:
+        raise GraphError(f"threshold must be positive, got {threshold_nm}")
+
+    controls = np.asarray([s.control for s in segments], dtype=np.float64)
+    deltas = controls[:, None, :] - controls[None, :, :]
+    distances = np.hypot(deltas[..., 0], deltas[..., 1])
+    close = distances < threshold_nm
+    np.fill_diagonal(close, False)
+
+    neighbors = [sorted(np.nonzero(close[i])[0].tolist()) for i in range(len(segments))]
+    return SegmentGraph(
+        segments=list(segments), neighbors=neighbors, threshold_nm=threshold_nm
+    )

@@ -1,0 +1,93 @@
+"""Visit orders for the RNN's sequential decision pass.
+
+The paper processes node embeddings "sequentially" with an RNN but does
+not specify the order.  We provide three deterministic, locality-
+preserving options; the default (snake order) sorts control points into
+horizontal bands traversed boustrophedon-style, so consecutive RNN steps
+are spatial neighbours — which is what lets the hidden state coordinate
+nearby segments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.construction import SegmentGraph
+
+
+def snake_order(graph: SegmentGraph, band_nm: float = 150.0) -> list[int]:
+    """Boustrophedon order: sort into y-bands, alternate x direction."""
+    if band_nm <= 0:
+        raise GraphError(f"band height must be positive, got {band_nm}")
+    controls = np.asarray([s.control for s in graph.segments])
+    bands = np.floor(controls[:, 1] / band_nm).astype(np.int64)
+    order: list[int] = []
+    for band_no, band in enumerate(np.unique(bands)):
+        members = np.nonzero(bands == band)[0]
+        xs = controls[members, 0]
+        ys = controls[members, 1]
+        ascending = band_no % 2 == 0
+        keys = np.lexsort((ys, xs if ascending else -xs))
+        order.extend(members[keys].tolist())
+    return order
+
+
+def nearest_neighbor_order(graph: SegmentGraph) -> list[int]:
+    """Greedy chain: start at the lexicographically first control point,
+    repeatedly hop to the nearest unvisited segment."""
+    controls = np.asarray([s.control for s in graph.segments])
+    n = len(controls)
+    start = int(np.lexsort((controls[:, 0], controls[:, 1]))[0])
+    visited = np.zeros(n, dtype=bool)
+    order = [start]
+    visited[start] = True
+    current = start
+    for _ in range(n - 1):
+        deltas = controls - controls[current]
+        dists = np.hypot(deltas[:, 0], deltas[:, 1])
+        dists[visited] = np.inf
+        current = int(np.argmin(dists))
+        visited[current] = True
+        order.append(current)
+    return order
+
+
+def bfs_order(graph: SegmentGraph) -> list[int]:
+    """Breadth-first order over the proximity graph, restarting at the
+    lowest-index unvisited node for each component."""
+    n = graph.n_nodes
+    visited = [False] * n
+    order: list[int] = []
+    for root in range(n):
+        if visited[root]:
+            continue
+        queue = deque([root])
+        visited[root] = True
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            for neighbor in graph.neighbors[node]:
+                if not visited[neighbor]:
+                    visited[neighbor] = True
+                    queue.append(neighbor)
+    return order
+
+
+ORDERINGS = {
+    "snake": snake_order,
+    "nearest": nearest_neighbor_order,
+    "bfs": bfs_order,
+}
+
+
+def get_ordering(name: str):
+    """Look up an ordering strategy by name."""
+    try:
+        return ORDERINGS[name]
+    except KeyError:
+        raise GraphError(
+            f"unknown ordering {name!r}; choose from {sorted(ORDERINGS)}"
+        ) from None

@@ -1,0 +1,13 @@
+"""Layout I/O: a minimal GDSII stream writer/reader and a JSON clip format."""
+
+from repro.io.gds import read_gds_polygons, write_gds
+from repro.io.clipjson import clip_from_json, clip_to_json, load_clip, save_clip
+
+__all__ = [
+    "write_gds",
+    "read_gds_polygons",
+    "clip_to_json",
+    "clip_from_json",
+    "save_clip",
+    "load_clip",
+]

@@ -1,0 +1,53 @@
+"""JSON (de)serialization of benchmark clips."""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import DataError
+from repro.geometry.layout import Clip
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+
+_FORMAT_VERSION = 1
+
+
+def clip_to_json(clip: Clip) -> str:
+    """Serialize a clip (targets, SRAFs, metadata) to a JSON string."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "name": clip.name,
+        "layer": clip.layer,
+        "bbox": [clip.bbox.x0, clip.bbox.y0, clip.bbox.x1, clip.bbox.y1],
+        "targets": [list(map(list, p.vertices)) for p in clip.targets],
+        "srafs": [list(map(list, p.vertices)) for p in clip.srafs],
+        "metadata": clip.metadata,
+    }
+    return json.dumps(payload, indent=2)
+
+
+def clip_from_json(text: str) -> Clip:
+    payload = json.loads(text)
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise DataError(f"unsupported clip format version: {version}")
+    return Clip(
+        name=payload["name"],
+        bbox=Rect(*payload["bbox"]),
+        targets=tuple(
+            Polygon(tuple(map(tuple, verts))) for verts in payload["targets"]
+        ),
+        srafs=tuple(Polygon(tuple(map(tuple, verts))) for verts in payload["srafs"]),
+        layer=payload["layer"],
+        metadata=payload.get("metadata", {}),
+    )
+
+
+def save_clip(clip: Clip, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(clip_to_json(clip))
+
+
+def load_clip(path: str) -> Clip:
+    with open(path, "r", encoding="utf-8") as handle:
+        return clip_from_json(handle.read())

@@ -1,0 +1,140 @@
+"""Minimal GDSII stream format support.
+
+Writes/reads a single-structure GDSII file containing BOUNDARY elements —
+enough to round-trip every benchmark clip as a real ``.gds`` that layout
+viewers open.  Coordinates are stored in database units of 1 nm.
+
+The GDSII record subset used: HEADER, BGNLIB, LIBNAME, UNITS, BGNSTR,
+STRNAME, BOUNDARY, LAYER, DATATYPE, XY, ENDEL, ENDSTR, ENDLIB.
+"""
+
+from __future__ import annotations
+
+import struct
+from datetime import datetime
+
+from repro.errors import DataError
+from repro.geometry.polygon import Polygon
+
+_HEADER = 0x0002
+_BGNLIB = 0x0102
+_LIBNAME = 0x0206
+_UNITS = 0x0305
+_BGNSTR = 0x0502
+_STRNAME = 0x0606
+_ENDSTR = 0x0700
+_BOUNDARY = 0x0800
+_LAYER = 0x0D02
+_DATATYPE = 0x0E02
+_XY = 0x1003
+_ENDEL = 0x1100
+_ENDLIB = 0x0400
+
+
+def _record(tag: int, payload: bytes = b"") -> bytes:
+    length = 4 + len(payload)
+    return struct.pack(">HH", length, tag) + payload
+
+
+def _gds_real8(value: float) -> bytes:
+    """Encode a float as GDSII 8-byte excess-64 real."""
+    if value == 0:
+        return b"\x00" * 8
+    sign = 0
+    if value < 0:
+        sign = 0x80
+        value = -value
+    exponent = 64
+    while value >= 1:
+        value /= 16.0
+        exponent += 1
+    while value < 1 / 16.0:
+        value *= 16.0
+        exponent -= 1
+    mantissa = int(value * (1 << 56))
+    return struct.pack(">B", sign | exponent) + mantissa.to_bytes(7, "big")
+
+
+def _parse_real8(raw: bytes) -> float:
+    sign = -1.0 if raw[0] & 0x80 else 1.0
+    exponent = (raw[0] & 0x7F) - 64
+    mantissa = int.from_bytes(raw[1:8], "big") / float(1 << 56)
+    return sign * mantissa * (16.0**exponent)
+
+
+def write_gds(
+    path: str,
+    polygons: list[Polygon],
+    cell_name: str = "CLIP",
+    layer: int = 1,
+    datatype: int = 0,
+) -> None:
+    """Write polygons (nm coordinates) as one GDSII cell."""
+    now = datetime(2024, 1, 1)
+    stamp = struct.pack(
+        ">6H", now.year, now.month, now.day, now.hour, now.minute, now.second
+    )
+    chunks = [
+        _record(_HEADER, struct.pack(">h", 600)),
+        _record(_BGNLIB, stamp + stamp),
+        _record(_LIBNAME, _pad(b"REPRO")),
+        # 1 db unit = 1e-3 user units (um) = 1e-9 m.
+        _record(_UNITS, _gds_real8(1e-3) + _gds_real8(1e-9)),
+        _record(_BGNSTR, stamp + stamp),
+        _record(_STRNAME, _pad(cell_name.encode())),
+    ]
+    for polygon in polygons:
+        points = list(polygon.vertices) + [polygon.vertices[0]]
+        coords = b"".join(
+            struct.pack(">ii", int(round(x)), int(round(y))) for x, y in points
+        )
+        chunks.extend(
+            [
+                _record(_BOUNDARY),
+                _record(_LAYER, struct.pack(">h", layer)),
+                _record(_DATATYPE, struct.pack(">h", datatype)),
+                _record(_XY, coords),
+                _record(_ENDEL),
+            ]
+        )
+    chunks.append(_record(_ENDSTR))
+    chunks.append(_record(_ENDLIB))
+    with open(path, "wb") as handle:
+        handle.write(b"".join(chunks))
+
+
+def read_gds_polygons(path: str) -> list[Polygon]:
+    """Read every BOUNDARY element back as a polygon (nm coordinates)."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    polygons: list[Polygon] = []
+    offset = 0
+    unit_scale = 1.0
+    while offset + 4 <= len(data):
+        (length, tag) = struct.unpack(">HH", data[offset : offset + 4])
+        if length < 4:
+            raise DataError(f"corrupt GDSII record at offset {offset}")
+        payload = data[offset + 4 : offset + length]
+        if tag == _UNITS:
+            user_per_db = _parse_real8(payload[:8])
+            meters_per_db = _parse_real8(payload[8:16])
+            unit_scale = meters_per_db / 1e-9  # db units -> nm
+            del user_per_db
+        elif tag == _XY:
+            count = len(payload) // 8
+            points = [
+                struct.unpack(">ii", payload[8 * i : 8 * i + 8]) for i in range(count)
+            ]
+            if points and points[0] == points[-1]:
+                points = points[:-1]
+            polygons.append(
+                Polygon(tuple((x * unit_scale, y * unit_scale) for x, y in points))
+            )
+        offset += length
+        if tag == _ENDLIB:
+            break
+    return polygons
+
+
+def _pad(name: bytes) -> bytes:
+    return name + (b"\x00" if len(name) % 2 else b"")

@@ -1,0 +1,38 @@
+"""Partially-coherent lithography simulation substrate.
+
+The paper evaluates masks with a Calibre-compatible simulator from an
+industry partner.  We reproduce the same physics class used by the academic
+baselines (ICCAD-2013 contest style): Hopkins imaging decomposed into a sum
+of coherent systems (SOCS).  The transmission cross coefficient (TCC) is
+built from a parametric illumination source and a defocus-capable pupil,
+eigendecomposed into optical kernels, and applied to rasterized masks with
+FFT convolutions.  A constant-threshold resist model with dose/defocus
+process corners yields printed contours and the PV band.
+"""
+
+from repro.litho.source import SourceSpec, source_weights
+from repro.litho.pupil import pupil_function
+from repro.litho.tcc import build_tcc, socs_kernels
+from repro.litho.kernels import OpticalKernelSet, build_kernel_set
+from repro.litho.imaging import aerial_image
+from repro.litho.resist import printed_image
+from repro.litho.process import ProcessCorner, nominal_corner, standard_corners
+from repro.litho.simulator import LithographySimulator, LithoConfig, LithoResult
+
+__all__ = [
+    "SourceSpec",
+    "source_weights",
+    "pupil_function",
+    "build_tcc",
+    "socs_kernels",
+    "OpticalKernelSet",
+    "build_kernel_set",
+    "aerial_image",
+    "printed_image",
+    "ProcessCorner",
+    "nominal_corner",
+    "standard_corners",
+    "LithographySimulator",
+    "LithoConfig",
+    "LithoResult",
+]

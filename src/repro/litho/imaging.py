@@ -1,0 +1,17 @@
+"""Aerial-image computation (thin wrapper over a kernel set)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.litho.kernels import OpticalKernelSet
+
+
+def aerial_image(mask: np.ndarray, kernel_set: OpticalKernelSet) -> np.ndarray:
+    """Partially-coherent aerial intensity of a rasterized mask.
+
+    ``I(x) = sum_k w_k |(h_k * m)(x)|^2`` with circular convolution; the
+    clip designs keep patterns away from the window border, so wraparound
+    never reaches printable features.
+    """
+    return kernel_set.convolve_intensity(np.asarray(mask))

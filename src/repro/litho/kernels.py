@@ -1,0 +1,159 @@
+"""Optical kernel sets: cropped SOCS kernels ready for fast FFT imaging.
+
+A :class:`OpticalKernelSet` owns the spatial kernels for one process
+condition (focus setting), normalized so that an open-frame (all-clear)
+mask images to intensity exactly 1.0.  Kernel FFTs are cached per mask
+shape so repeated simulations during OPC iterations cost one mask FFT plus
+one inverse FFT per kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from repro.constants import NUMERICAL_APERTURE, WAVELENGTH_NM
+from repro.errors import LithoError
+from repro.litho.source import SourceSpec
+from repro.litho.tcc import build_tcc, socs_kernels
+
+
+@dataclass
+class OpticalKernelSet:
+    """SOCS kernels for one focus condition.
+
+    Attributes:
+        weights: ``(K,)`` kernel weights (TCC eigenvalues, rescaled).
+        kernels: ``(K, c, c)`` complex spatial kernels, centre at ``c // 2``.
+        pixel_nm: Raster pitch the kernels are sampled at.
+        defocus_nm: Focus condition these kernels represent.
+    """
+
+    weights: np.ndarray
+    kernels: np.ndarray
+    pixel_nm: float
+    defocus_nm: float
+    _fft_cache: dict[tuple[int, int], np.ndarray] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.kernels.ndim != 3 or self.kernels.shape[1] != self.kernels.shape[2]:
+            raise LithoError(f"bad kernel array shape {self.kernels.shape}")
+        if len(self.weights) != len(self.kernels):
+            raise LithoError("weights / kernels length mismatch")
+
+    @property
+    def count(self) -> int:
+        return len(self.weights)
+
+    @property
+    def ambit_px(self) -> int:
+        return self.kernels.shape[1]
+
+    def convolve_intensity(self, mask: np.ndarray) -> np.ndarray:
+        """Aerial intensity ``sum_k w_k |h_k * mask|^2`` (circular conv).
+
+        ``mask`` is a 2-D real array (binary masks or graytone); it must be
+        at least as large as the kernel ambit in both dimensions.
+        """
+        if mask.ndim != 2:
+            raise LithoError(f"mask must be 2-D, got shape {mask.shape}")
+        if min(mask.shape) < self.ambit_px:
+            raise LithoError(
+                f"mask {mask.shape} smaller than kernel ambit {self.ambit_px}"
+            )
+        kernel_ffts = self._kernel_ffts(mask.shape)
+        mask_fft = np.fft.fft2(mask.astype(np.float64))
+        intensity = np.zeros(mask.shape, dtype=np.float64)
+        for weight, kernel_fft in zip(self.weights, kernel_ffts):
+            field_k = np.fft.ifft2(mask_fft * kernel_fft)
+            intensity += weight * (field_k.real**2 + field_k.imag**2)
+        return intensity
+
+    def _kernel_ffts(self, shape: tuple[int, int]) -> np.ndarray:
+        cached = self._fft_cache.get(shape)
+        if cached is None:
+            c = self.ambit_px
+            half = c // 2
+            stack = np.empty((self.count, *shape), dtype=np.complex128)
+            for k in range(self.count):
+                padded = np.zeros(shape, dtype=np.complex128)
+                padded[:c, :c] = self.kernels[k]
+                # Centre the kernel on pixel (0, 0) for circular convolution.
+                padded = np.roll(padded, (-half, -half), axis=(0, 1))
+                stack[k] = np.fft.fft2(padded)
+            self._fft_cache[shape] = stack
+            cached = stack
+        return cached
+
+    # -- persistence --------------------------------------------------------
+    def save(self, path: str) -> None:
+        np.savez_compressed(
+            path,
+            weights=self.weights,
+            kernels=self.kernels,
+            pixel_nm=self.pixel_nm,
+            defocus_nm=self.defocus_nm,
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "OpticalKernelSet":
+        data = np.load(path)
+        return cls(
+            weights=data["weights"],
+            kernels=data["kernels"],
+            pixel_nm=float(data["pixel_nm"]),
+            defocus_nm=float(data["defocus_nm"]),
+        )
+
+
+@lru_cache(maxsize=8)
+def build_kernel_set(
+    pixel_nm: float = 4.0,
+    defocus_nm: float = 0.0,
+    source: SourceSpec = SourceSpec(),
+    period_nm: float = 2048.0,
+    ambit_nm: float = 512.0,
+    max_kernels: int = 12,
+    energy_fraction: float = 0.995,
+    wavelength_nm: float = WAVELENGTH_NM,
+    numerical_aperture: float = NUMERICAL_APERTURE,
+) -> OpticalKernelSet:
+    """Build (and cache) an :class:`OpticalKernelSet` for one focus setting.
+
+    The TCC is computed on a lattice with period ``period_nm``, kernels are
+    cropped to ``ambit_nm`` (they decay over a few hundred nm), and the set
+    is rescaled so an open-frame mask images to intensity exactly 1.
+    """
+    tcc = build_tcc(
+        source,
+        period_nm=period_nm,
+        defocus_nm=defocus_nm,
+        wavelength_nm=wavelength_nm,
+        numerical_aperture=numerical_aperture,
+    )
+    weights, full_kernels = socs_kernels(
+        tcc, pixel_nm, max_kernels=max_kernels, energy_fraction=energy_fraction
+    )
+
+    n = full_kernels.shape[1]
+    crop = int(round(ambit_nm / pixel_nm)) | 1  # odd size keeps a centre pixel
+    crop = min(crop, n)
+    lo = (n - crop) // 2
+    kernels = full_kernels[:, lo : lo + crop, lo : lo + crop].copy()
+
+    sums = kernels.sum(axis=(1, 2))
+    open_frame = float(np.sum(weights * np.abs(sums) ** 2))
+    if open_frame <= 0:
+        raise LithoError("kernel set images an open frame to zero intensity")
+    weights = weights / open_frame
+
+    return OpticalKernelSet(
+        weights=weights,
+        kernels=kernels,
+        pixel_nm=pixel_nm,
+        defocus_nm=defocus_nm,
+    )

@@ -1,0 +1,45 @@
+"""Process-variation corners.
+
+The PV band is measured between the extreme printed contours across the
+process window.  Following the ICCAD-13 convention used by the OPC
+literature, the outermost contour comes from the defocused, over-dosed
+corner and the innermost from the defocused, under-dosed corner; EPE is
+always measured at the nominal corner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import DEFOCUS_NM, DOSE_VARIATION
+from repro.errors import LithoError
+
+
+@dataclass(frozen=True)
+class ProcessCorner:
+    """One (defocus, dose) process condition."""
+
+    name: str
+    defocus_nm: float
+    dose: float
+
+    def __post_init__(self) -> None:
+        if self.dose <= 0:
+            raise LithoError(f"corner {self.name!r}: dose must be positive")
+
+
+def nominal_corner() -> ProcessCorner:
+    return ProcessCorner(name="nominal", defocus_nm=0.0, dose=1.0)
+
+
+def standard_corners(
+    defocus_nm: float = DEFOCUS_NM, dose_variation: float = DOSE_VARIATION
+) -> tuple[ProcessCorner, ProcessCorner, ProcessCorner]:
+    """(nominal, inner, outer) corners of the process window."""
+    if not 0 < dose_variation < 1:
+        raise LithoError(f"dose variation must be in (0, 1), got {dose_variation}")
+    return (
+        nominal_corner(),
+        ProcessCorner(name="inner", defocus_nm=defocus_nm, dose=1.0 - dose_variation),
+        ProcessCorner(name="outer", defocus_nm=defocus_nm, dose=1.0 + dose_variation),
+    )

@@ -1,0 +1,26 @@
+"""Constant-threshold resist model.
+
+The ICCAD-2013 contest (and the ML-OPC literature built on it) evaluates
+printed contours with a constant intensity threshold; exposure-dose
+variation divides the effective threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import RESIST_THRESHOLD
+from repro.errors import LithoError
+
+
+def printed_image(
+    aerial: np.ndarray,
+    threshold: float = RESIST_THRESHOLD,
+    dose: float = 1.0,
+) -> np.ndarray:
+    """Binary printed image: resist clears where ``dose * I >= threshold``."""
+    if threshold <= 0:
+        raise LithoError(f"threshold must be positive, got {threshold}")
+    if dose <= 0:
+        raise LithoError(f"dose must be positive, got {dose}")
+    return (np.asarray(aerial) * dose >= threshold).astype(np.uint8)

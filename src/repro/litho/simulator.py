@@ -1,0 +1,145 @@
+"""Lithography simulator facade.
+
+:class:`LithographySimulator` is what the OPC engines talk to: it turns a
+mask (polygons or a :class:`~repro.geometry.mask_edit.MaskState`) into
+aerial and printed images at every process corner, reusing optical kernels
+and kernel FFTs across the thousands of evaluations an OPC run makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.constants import (
+    DEFOCUS_NM,
+    DOSE_VARIATION,
+    PIXEL_NM,
+    RESIST_THRESHOLD,
+)
+from repro.errors import LithoError
+from repro.geometry.layout import Clip
+from repro.geometry.mask_edit import MaskState
+from repro.geometry.polygon import Polygon
+from repro.geometry.raster import Grid, rasterize
+from repro.litho.kernels import OpticalKernelSet, build_kernel_set
+from repro.litho.process import ProcessCorner, standard_corners
+from repro.litho.resist import printed_image
+from repro.litho.source import SourceSpec
+
+
+@dataclass(frozen=True)
+class LithoConfig:
+    """Simulator settings (paper-scale defaults, all overridable)."""
+
+    pixel_nm: float = PIXEL_NM
+    threshold: float = RESIST_THRESHOLD
+    defocus_nm: float = DEFOCUS_NM
+    dose_variation: float = DOSE_VARIATION
+    source: SourceSpec = SourceSpec()
+    period_nm: float = 2048.0
+    ambit_nm: float = 512.0
+    max_kernels: int = 12
+    energy_fraction: float = 0.995
+
+    def __post_init__(self) -> None:
+        if self.pixel_nm <= 0:
+            raise LithoError("pixel_nm must be positive")
+        if self.ambit_nm > self.period_nm:
+            raise LithoError("kernel ambit cannot exceed the lattice period")
+
+
+@dataclass
+class LithoResult:
+    """One full simulation: aerial image plus printed images per corner."""
+
+    grid: Grid
+    aerial: np.ndarray
+    aerial_defocus: np.ndarray
+    printed: dict[str, np.ndarray]
+
+    @property
+    def nominal(self) -> np.ndarray:
+        return self.printed["nominal"]
+
+    @property
+    def inner(self) -> np.ndarray:
+        return self.printed["inner"]
+
+    @property
+    def outer(self) -> np.ndarray:
+        return self.printed["outer"]
+
+
+@dataclass
+class LithographySimulator:
+    """Reusable Hopkins/SOCS simulator for one optical configuration."""
+
+    config: LithoConfig = field(default_factory=LithoConfig)
+    _kernel_sets: dict[float, OpticalKernelSet] = field(
+        default_factory=dict, repr=False
+    )
+
+    def kernel_set(self, defocus_nm: float = 0.0) -> OpticalKernelSet:
+        """Kernels for one focus condition (built once, then cached)."""
+        if defocus_nm not in self._kernel_sets:
+            cfg = self.config
+            self._kernel_sets[defocus_nm] = build_kernel_set(
+                pixel_nm=cfg.pixel_nm,
+                defocus_nm=defocus_nm,
+                source=cfg.source,
+                period_nm=cfg.period_nm,
+                ambit_nm=cfg.ambit_nm,
+                max_kernels=cfg.max_kernels,
+                energy_fraction=cfg.energy_fraction,
+            )
+        return self._kernel_sets[defocus_nm]
+
+    def corners(self) -> tuple[ProcessCorner, ProcessCorner, ProcessCorner]:
+        return standard_corners(self.config.defocus_nm, self.config.dose_variation)
+
+    # -- grid / raster helpers ----------------------------------------------
+    def grid_for(self, clip: Clip) -> Grid:
+        return Grid.for_window(clip.bbox, self.config.pixel_nm)
+
+    def rasterize_mask(
+        self, polygons: Iterable[Polygon], grid: Grid
+    ) -> np.ndarray:
+        return rasterize(polygons, grid)
+
+    # -- simulation -----------------------------------------------------------
+    def aerial(self, mask: np.ndarray, defocus_nm: float = 0.0) -> np.ndarray:
+        """Aerial intensity of a rasterized mask at one focus setting."""
+        return self.kernel_set(defocus_nm).convolve_intensity(mask)
+
+    def simulate_mask(self, mask: np.ndarray, grid: Grid) -> LithoResult:
+        """Full corner sweep for a rasterized mask."""
+        nominal, inner, outer = self.corners()
+        aerial_focus = self.aerial(mask, defocus_nm=nominal.defocus_nm)
+        aerial_defocus = self.aerial(mask, defocus_nm=inner.defocus_nm)
+        printed = {
+            "nominal": printed_image(
+                aerial_focus, self.config.threshold, nominal.dose
+            ),
+            "inner": printed_image(aerial_defocus, self.config.threshold, inner.dose),
+            "outer": printed_image(aerial_defocus, self.config.threshold, outer.dose),
+        }
+        return LithoResult(
+            grid=grid,
+            aerial=aerial_focus,
+            aerial_defocus=aerial_defocus,
+            printed=printed,
+        )
+
+    def simulate_polygons(
+        self, polygons: Iterable[Polygon], grid: Grid
+    ) -> LithoResult:
+        return self.simulate_mask(self.rasterize_mask(polygons, grid), grid)
+
+    def simulate_state(self, state: MaskState, grid: Grid | None = None) -> LithoResult:
+        """Simulate the current mask of an OPC state."""
+        if grid is None:
+            grid = self.grid_for(state.clip)
+        return self.simulate_polygons(state.mask_polygons(), grid)

@@ -1,0 +1,84 @@
+"""Illumination source models for Hopkins imaging.
+
+A source is described in normalized pupil coordinates: a point at radial
+coordinate ``sigma`` emits a plane wave whose spatial frequency magnitude is
+``sigma * NA / wavelength``.  We support the two classical shapes used for
+contact/via and metal layers: circular (conventional) and annular.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import (
+    ANNULAR_SIGMA_IN,
+    ANNULAR_SIGMA_OUT,
+    PARTIAL_COHERENCE_SIGMA,
+)
+from repro.errors import LithoError
+
+
+@dataclass(frozen=True)
+class SourceSpec:
+    """Parametric illumination source.
+
+    Attributes:
+        shape: ``"circular"`` or ``"annular"``.
+        sigma: Partial-coherence radius for circular sources.
+        sigma_in, sigma_out: Annulus bounds for annular sources.
+    """
+
+    shape: str = "circular"
+    sigma: float = PARTIAL_COHERENCE_SIGMA
+    sigma_in: float = ANNULAR_SIGMA_IN
+    sigma_out: float = ANNULAR_SIGMA_OUT
+
+    def __post_init__(self) -> None:
+        if self.shape not in ("circular", "annular"):
+            raise LithoError(f"unknown source shape: {self.shape!r}")
+        if self.shape == "circular" and not 0 < self.sigma < 1:
+            raise LithoError(f"circular sigma must be in (0, 1), got {self.sigma}")
+        if self.shape == "annular":
+            if not 0 <= self.sigma_in < self.sigma_out < 1:
+                raise LithoError(
+                    f"annular bounds must satisfy 0 <= in < out < 1, got "
+                    f"({self.sigma_in}, {self.sigma_out})"
+                )
+
+    @property
+    def outer_sigma(self) -> float:
+        """Largest radial extent of the source (sets TCC support)."""
+        return self.sigma if self.shape == "circular" else self.sigma_out
+
+
+def source_weights(
+    spec: SourceSpec, freqs: np.ndarray, cutoff: float
+) -> np.ndarray:
+    """Intensity weight of each candidate source point.
+
+    Args:
+        spec: Source description.
+        freqs: ``(n, 2)`` array of spatial-frequency samples (cycles/nm).
+        cutoff: Pupil cutoff frequency ``NA / wavelength`` used to convert
+            the source's normalized sigma coordinates to frequencies.
+
+    Returns:
+        ``(n,)`` float array of non-negative weights; zero outside the
+        source shape.  Weights are *not* normalized here — the TCC builder
+        normalizes by the total source energy.
+    """
+    radius = np.hypot(freqs[:, 0], freqs[:, 1]) / cutoff
+    if spec.shape == "circular":
+        weights = (radius <= spec.sigma).astype(np.float64)
+    else:
+        weights = ((radius > spec.sigma_in) & (radius <= spec.sigma_out)).astype(
+            np.float64
+        )
+    if not weights.any():
+        raise LithoError(
+            "source discretization produced no active points; "
+            "frequency lattice too coarse for this source"
+        )
+    return weights

@@ -1,0 +1,152 @@
+"""Transmission cross coefficient (TCC) construction and SOCS decomposition.
+
+Hopkins partially-coherent imaging writes the aerial image as
+
+    I(x) = sum_{f1, f2} TCC(f1, f2) M(f1) conj(M(f2)) exp(i 2 pi (f1 - f2) x)
+
+with ``TCC(f1, f2) = integral J(f) P(f + f1) conj(P(f + f2)) df`` over the
+source.  Diagonalizing the (Hermitian, PSD) TCC gives the sum-of-coherent-
+systems form ``I(x) = sum_k w_k |(h_k * m)(x)|^2`` — the optical kernels
+every fast OPC simulator uses.
+
+We discretize both source and pupil shifts on a frequency lattice of
+spacing ``1 / period_nm`` and build the TCC as a Gram matrix ``A^H A`` with
+``A[s, a] = sqrt(J_s) * P(f_s + f_a)``, which keeps it exactly PSD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import NUMERICAL_APERTURE, WAVELENGTH_NM
+from repro.errors import LithoError
+from repro.litho.pupil import pupil_function
+from repro.litho.source import SourceSpec, source_weights
+
+
+@dataclass(frozen=True)
+class TCCResult:
+    """Discretized TCC plus the lattice metadata needed to invert it.
+
+    Attributes:
+        matrix: ``(n, n)`` Hermitian TCC over pupil-shift samples.
+        shift_indices: ``(n, 2)`` integer lattice coordinates of each sample.
+        lattice_spacing: Frequency-lattice pitch (cycles/nm).
+    """
+
+    matrix: np.ndarray
+    shift_indices: np.ndarray
+    lattice_spacing: float
+
+
+def frequency_lattice(radius_units: int) -> np.ndarray:
+    """Integer lattice points within ``radius_units`` of the origin."""
+    coords = np.arange(-radius_units, radius_units + 1)
+    ii, jj = np.meshgrid(coords, coords, indexing="ij")
+    pts = np.stack([ii.ravel(), jj.ravel()], axis=1)
+    keep = pts[:, 0] ** 2 + pts[:, 1] ** 2 <= radius_units * radius_units
+    return pts[keep]
+
+
+def build_tcc(
+    source: SourceSpec,
+    period_nm: float,
+    defocus_nm: float = 0.0,
+    wavelength_nm: float = WAVELENGTH_NM,
+    numerical_aperture: float = NUMERICAL_APERTURE,
+) -> TCCResult:
+    """Build the TCC on a lattice with spacing ``1 / period_nm``.
+
+    ``period_nm`` is the spatial period of the resulting kernels; it should
+    comfortably exceed the optical ambit (defaults elsewhere use ~2 um).
+    """
+    if period_nm <= 0:
+        raise LithoError(f"period must be positive, got {period_nm}")
+    df = 1.0 / period_nm
+    cutoff = numerical_aperture / wavelength_nm
+
+    pupil_radius_units = int(np.floor(cutoff / df))
+    if pupil_radius_units < 2:
+        raise LithoError(
+            f"frequency lattice too coarse: pupil radius is only "
+            f"{pupil_radius_units} samples (period {period_nm} nm)"
+        )
+    shift_indices = frequency_lattice(pupil_radius_units)
+    shifts = shift_indices * df
+
+    source_radius_units = int(np.ceil(source.outer_sigma * cutoff / df))
+    source_indices = frequency_lattice(source_radius_units)
+    source_freqs = source_indices * df
+    weights = source_weights(source, source_freqs, cutoff)
+    active = weights > 0
+    source_freqs = source_freqs[active]
+    weights = weights[active]
+
+    # A[s, a] = sqrt(J_s) * P(f_s + f_a); TCC = A^H A / sum(J).
+    sample_freqs = source_freqs[:, None, :] + shifts[None, :, :]
+    flat = sample_freqs.reshape(-1, 2)
+    pupil = pupil_function(
+        flat,
+        defocus_nm=defocus_nm,
+        wavelength_nm=wavelength_nm,
+        numerical_aperture=numerical_aperture,
+    ).reshape(len(source_freqs), len(shifts))
+    amplitude = np.sqrt(weights)[:, None] * pupil
+    tcc = amplitude.conj().T @ amplitude / weights.sum()
+    return TCCResult(matrix=tcc, shift_indices=shift_indices, lattice_spacing=df)
+
+
+def socs_kernels(
+    tcc: TCCResult,
+    pixel_nm: float,
+    max_kernels: int = 12,
+    energy_fraction: float = 0.995,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Eigendecompose a TCC into spatial SOCS kernels.
+
+    Args:
+        tcc: Output of :func:`build_tcc`.
+        pixel_nm: Raster pitch of the target mask grids.
+        max_kernels: Hard cap on the number of kernels kept.
+        energy_fraction: Keep the smallest kernel count whose eigenvalue
+            mass reaches this fraction of the total.
+
+    Returns:
+        ``(weights, kernels)``: weights ``(K,)`` (eigenvalues, descending)
+        and complex spatial kernels ``(K, N, N)`` sampled at ``pixel_nm``
+        with the kernel centre at the array centre.  ``N`` is the lattice
+        period divided by the pixel size.
+    """
+    if not 0 < energy_fraction <= 1:
+        raise LithoError(f"energy_fraction must be in (0, 1], got {energy_fraction}")
+    eigvals, eigvecs = np.linalg.eigh(tcc.matrix)
+    order = np.argsort(eigvals)[::-1]
+    eigvals = np.maximum(eigvals[order], 0.0)
+    eigvecs = eigvecs[:, order]
+
+    total = eigvals.sum()
+    if total <= 0:
+        raise LithoError("TCC has no positive eigenvalues")
+    cumulative = np.cumsum(eigvals) / total
+    count = int(np.searchsorted(cumulative, energy_fraction) + 1)
+    count = min(count, max_kernels, len(eigvals))
+
+    period_nm = 1.0 / tcc.lattice_spacing
+    n_pixels = int(round(period_nm / pixel_nm))
+    if n_pixels < 8:
+        raise LithoError(
+            f"kernel raster too small ({n_pixels} px); "
+            f"decrease pixel size or increase period"
+        )
+
+    kernels = np.empty((count, n_pixels, n_pixels), dtype=np.complex128)
+    for k in range(count):
+        spectrum = np.zeros((n_pixels, n_pixels), dtype=np.complex128)
+        rows = tcc.shift_indices[:, 0] % n_pixels
+        cols = tcc.shift_indices[:, 1] % n_pixels
+        spectrum[rows, cols] = eigvecs[:, k]
+        spatial = np.fft.ifft2(spectrum) * (n_pixels * n_pixels)
+        kernels[k] = np.fft.fftshift(spatial)
+    return eigvals[:count], kernels

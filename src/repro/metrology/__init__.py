@@ -1,0 +1,25 @@
+"""EPE and PV-band metrology.
+
+Sign convention (used consistently across the project, matching the
+modulator discussion in the paper): **positive EPE means the printed
+contour lies outside the target edge** (intensity overflow — the segment
+should move inward), negative EPE means the contour is inside (lack of
+intensity — move outward).
+"""
+
+from repro.metrology.contour import contour_offset_along_normal
+from repro.metrology.epe import (
+    EPEReport,
+    measure_epe,
+    segment_epe,
+)
+from repro.metrology.pvband import pvband_area, pvband_image
+
+__all__ = [
+    "contour_offset_along_normal",
+    "EPEReport",
+    "measure_epe",
+    "segment_epe",
+    "pvband_area",
+    "pvband_image",
+]

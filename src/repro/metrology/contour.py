@@ -1,0 +1,104 @@
+"""Sub-pixel printed-contour location along measurement normals.
+
+The printed contour is the level set ``aerial == threshold``.  For each
+measure point we sample the aerial intensity along the outward normal and
+locate the threshold crossing that bounds the printed region containing
+(or nearest to) the target edge, with linear interpolation between samples
+for sub-nanometre resolution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MetrologyError
+from repro.geometry.raster import Grid, bilinear_sample_many
+
+
+def contour_offset_along_normal(
+    aerial: np.ndarray,
+    grid: Grid,
+    points: np.ndarray,
+    normals: np.ndarray,
+    threshold: float,
+    search_nm: float = 40.0,
+    step_nm: float = 1.0,
+) -> np.ndarray:
+    """Signed contour offsets for a batch of measure points.
+
+    Args:
+        aerial: Aerial-intensity image on ``grid``.
+        points: ``(n, 2)`` measure-point coordinates (on target edges).
+        normals: ``(n, 2)`` unit outward normals.
+        threshold: Resist threshold.
+        search_nm: Half-width of the search window along the normal.
+        step_nm: Sampling pitch before interpolation.
+
+    Returns:
+        ``(n,)`` signed offsets (nm): positive = contour outside the target
+        edge, negative = inside.  Clamped to ``+/- search_nm`` when the
+        contour is not found within the window (e.g. unprinted feature).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    normals = np.asarray(normals, dtype=np.float64)
+    if points.shape != normals.shape or points.ndim != 2 or points.shape[1] != 2:
+        raise MetrologyError(
+            f"points {points.shape} and normals {normals.shape} must both be (n, 2)"
+        )
+    if search_nm <= 0 or step_nm <= 0:
+        raise MetrologyError("search_nm and step_nm must be positive")
+
+    offsets = np.arange(-search_nm, search_nm + step_nm / 2, step_nm)
+    n_points = len(points)
+    n_offsets = len(offsets)
+    xs = (points[:, 0:1] + offsets[None, :] * normals[:, 0:1]).ravel()
+    ys = (points[:, 1:2] + offsets[None, :] * normals[:, 1:2]).ravel()
+    samples = bilinear_sample_many(aerial, grid, xs, ys).reshape(n_points, n_offsets)
+
+    centre = n_offsets // 2  # index of offset 0 (the target edge)
+    result = np.empty(n_points, dtype=np.float64)
+    for i in range(n_points):
+        result[i] = _locate_crossing(
+            samples[i], offsets, centre, threshold, search_nm
+        )
+    return result
+
+
+def _locate_crossing(
+    profile: np.ndarray,
+    offsets: np.ndarray,
+    centre: int,
+    threshold: float,
+    search_nm: float,
+) -> float:
+    """Find the signed contour offset on one intensity profile.
+
+    If the target-edge sample is printed (>= threshold) the feature reaches
+    the target here, so walk outward to where intensity drops below the
+    threshold (overflow, positive EPE).  Otherwise walk inward to where it
+    rises above (underflow, negative EPE).
+    """
+    printed_at_edge = profile[centre] >= threshold
+    if printed_at_edge:
+        for j in range(centre, len(profile) - 1):
+            if profile[j] >= threshold > profile[j + 1]:
+                return _interpolate(offsets[j], offsets[j + 1],
+                                    profile[j], profile[j + 1], threshold)
+        return search_nm
+    for j in range(centre, 0, -1):
+        if profile[j] < threshold <= profile[j - 1]:
+            return _interpolate(offsets[j - 1], offsets[j],
+                                profile[j - 1], profile[j], threshold)
+    return -search_nm
+
+
+def _interpolate(
+    x_hi_side_in: float, x_lo_side_out: float, v_in: float, v_out: float,
+    threshold: float,
+) -> float:
+    """Linear interpolation of the threshold crossing between two samples."""
+    span = v_in - v_out
+    if span <= 0:
+        return (x_hi_side_in + x_lo_side_out) / 2
+    frac = (v_in - threshold) / span
+    return x_hi_side_in + frac * (x_lo_side_out - x_hi_side_in)

@@ -1,0 +1,198 @@
+"""Differentiable operations beyond basic tensor arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NNError
+from repro.nn.tensor import Tensor, _accumulate
+
+
+def relu(x: Tensor) -> Tensor:
+    mask = x.data > 0
+    out = Tensor(x.data * mask, requires_grad=x.requires_grad, _parents=(x,))
+
+    def backward(grad: np.ndarray) -> None:
+        _accumulate(x, grad * mask)
+
+    out._backward = backward
+    return out
+
+
+def tanh(x: Tensor) -> Tensor:
+    value = np.tanh(x.data)
+    out = Tensor(value, requires_grad=x.requires_grad, _parents=(x,))
+
+    def backward(grad: np.ndarray) -> None:
+        _accumulate(x, grad * (1.0 - value * value))
+
+    out._backward = backward
+    return out
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    value = 1.0 / (1.0 + np.exp(-x.data))
+    out = Tensor(value, requires_grad=x.requires_grad, _parents=(x,))
+
+    def backward(grad: np.ndarray) -> None:
+        _accumulate(x, grad * value * (1.0 - value))
+
+    out._backward = backward
+    return out
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax (the max shift is gradient-free)."""
+    shift = Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = (x - shift).exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shift = Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - shift
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood of integer ``targets`` under ``logits``.
+
+    ``logits`` has shape ``(n, classes)``; ``targets`` is ``(n,)`` ints.
+    """
+    targets = np.asarray(targets)
+    if logits.ndim != 2 or targets.shape != (logits.shape[0],):
+        raise NNError(
+            f"cross_entropy shapes: logits {logits.shape}, targets {targets.shape}"
+        )
+    logp = log_softmax(logits, axis=-1)
+    picked = logp[np.arange(len(targets)), targets]
+    return -picked.mean()
+
+
+def concat(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    if not tensors:
+        raise NNError("concat of zero tensors")
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    requires = any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires, _parents=tuple(tensors))
+    sizes = [t.data.shape[axis] for t in tensors]
+    splits = np.cumsum(sizes)[:-1]
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, piece in zip(tensors, np.split(grad, splits, axis=axis)):
+            _accumulate(tensor, piece)
+
+    out._backward = backward
+    return out
+
+
+def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    if not tensors:
+        raise NNError("stack of zero tensors")
+    data = np.stack([t.data for t in tensors], axis=axis)
+    requires = any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires, _parents=tuple(tensors))
+
+    def backward(grad: np.ndarray) -> None:
+        for index, tensor in enumerate(tensors):
+            _accumulate(tensor, np.take(grad, index, axis=axis))
+
+    out._backward = backward
+    return out
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D convolution (cross-correlation) on ``(N, C, H, W)`` inputs.
+
+    ``weight`` is ``(F, C, KH, KW)``; output is ``(N, F, OH, OW)``.
+    Implemented with im2col so the heavy lifting is one matmul.
+    """
+    if x.ndim != 4 or weight.ndim != 4:
+        raise NNError(f"conv2d expects 4-D input/weight, got {x.shape}/{weight.shape}")
+    n, c, h, w = x.shape
+    f, wc, kh, kw = weight.shape
+    if wc != c:
+        raise NNError(f"channel mismatch: input {c}, weight {wc}")
+    oh = (h + 2 * padding - kh) // stride + 1
+    ow = (w + 2 * padding - kw) // stride + 1
+    if oh <= 0 or ow <= 0:
+        raise NNError(f"conv2d output would be empty: ({oh}, {ow})")
+
+    padded = (
+        np.pad(x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        if padding
+        else x.data
+    )
+    windows = np.lib.stride_tricks.sliding_window_view(padded, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride, :, :]  # (N, C, OH, OW, KH, KW)
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kh * kw, oh * ow)
+
+    w_flat = weight.data.reshape(f, c * kh * kw)
+    out_data = np.einsum("fk,nkp->nfp", w_flat, cols).reshape(n, f, oh, ow)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, f, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    requires = any(t.requires_grad for t in parents)
+    out = Tensor(out_data, requires_grad=requires, _parents=parents)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_flat = grad.reshape(n, f, oh * ow)
+        if weight.requires_grad:
+            grad_w = np.einsum("nfp,nkp->fk", grad_flat, cols).reshape(weight.shape)
+            _accumulate(weight, grad_w)
+        if bias is not None and bias.requires_grad:
+            _accumulate(bias, grad.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            grad_cols = np.einsum("fk,nfp->nkp", w_flat, grad_flat)
+            grad_cols = grad_cols.reshape(n, c, kh, kw, oh, ow)
+            grad_padded = np.zeros(
+                (n, c, h + 2 * padding, w + 2 * padding), dtype=np.float64
+            )
+            for i in range(kh):
+                for j in range(kw):
+                    grad_padded[
+                        :, :, i : i + stride * oh : stride, j : j + stride * ow : stride
+                    ] += grad_cols[:, :, i, j, :, :]
+            if padding:
+                grad_padded = grad_padded[
+                    :, :, padding : padding + h, padding : padding + w
+                ]
+            _accumulate(x, grad_padded)
+
+    out._backward = backward
+    return out
+
+
+def max_pool2d(x: Tensor, kernel: int = 2) -> Tensor:
+    """Non-overlapping max pooling (stride = kernel) on ``(N, C, H, W)``."""
+    if x.ndim != 4:
+        raise NNError(f"max_pool2d expects 4-D input, got {x.shape}")
+    n, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise NNError(f"spatial dims {h}x{w} not divisible by kernel {kernel}")
+    oh, ow = h // kernel, w // kernel
+    blocks = x.data.reshape(n, c, oh, kernel, ow, kernel)
+    flat = blocks.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, oh, ow, kernel * kernel)
+    arg = flat.argmax(axis=-1)
+    out_data = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+    out = Tensor(out_data, requires_grad=x.requires_grad, _parents=(x,))
+
+    def backward(grad: np.ndarray) -> None:
+        grad_flat = np.zeros_like(flat)
+        np.put_along_axis(grad_flat, arg[..., None], grad[..., None], axis=-1)
+        grad_x = (
+            grad_flat.reshape(n, c, oh, ow, kernel, kernel)
+            .transpose(0, 1, 2, 4, 3, 5)
+            .reshape(n, c, h, w)
+        )
+        _accumulate(x, grad_x)
+
+    out._backward = backward
+    return out

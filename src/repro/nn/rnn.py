@@ -1,0 +1,87 @@
+"""Multi-layer Elman RNN (paper Eq. 5).
+
+Each layer computes ``h_t = tanh(U x_t + W h_{t-1} + b)``; the top layer's
+hidden states are the module output (CAMO adds a separate fully-connected
+head on top).  The forward pass consumes a whole node sequence, matching
+how CAMO walks segments in visit order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NNError
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class ElmanRNN(Module):
+    """Stacked Elman recurrent network.
+
+    Args:
+        input_size: Feature size of each sequence element.
+        hidden_size: Hidden-state size (shared across layers).
+        num_layers: Number of stacked recurrent layers (paper uses 3).
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise NNError(f"num_layers must be >= 1, got {num_layers}")
+        rng = rng or np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        for layer in range(num_layers):
+            in_size = input_size if layer == 0 else hidden_size
+            setattr(
+                self,
+                f"u{layer}",
+                Parameter(init.xavier_uniform((hidden_size, in_size), rng)),
+            )
+            setattr(
+                self,
+                f"w{layer}",
+                Parameter(init.xavier_uniform((hidden_size, hidden_size), rng)),
+            )
+            setattr(self, f"b{layer}", Parameter(init.zeros((hidden_size,))))
+
+    def initial_state(self) -> list[Tensor]:
+        """Zero hidden state per layer (shape ``(1, hidden)``)."""
+        return [Tensor(np.zeros((1, self.hidden_size))) for _ in range(self.num_layers)]
+
+    def step(self, x: Tensor, state: list[Tensor]) -> tuple[Tensor, list[Tensor]]:
+        """One time step.  ``x`` is ``(1, input_size)``."""
+        if len(state) != self.num_layers:
+            raise NNError(f"state has {len(state)} layers, expected {self.num_layers}")
+        new_state: list[Tensor] = []
+        layer_input = x
+        for layer in range(self.num_layers):
+            u = getattr(self, f"u{layer}")
+            w = getattr(self, f"w{layer}")
+            b = getattr(self, f"b{layer}")
+            hidden = F.tanh(layer_input @ u.T + state[layer] @ w.T + b)
+            new_state.append(hidden)
+            layer_input = hidden
+        return layer_input, new_state
+
+    def forward(self, sequence: Tensor) -> Tensor:
+        """Process ``(seq_len, input_size)``; return ``(seq_len, hidden)``."""
+        if sequence.ndim != 2 or sequence.shape[1] != self.input_size:
+            raise NNError(
+                f"expected (seq, {self.input_size}) input, got {sequence.shape}"
+            )
+        state = self.initial_state()
+        outputs: list[Tensor] = []
+        for t in range(sequence.shape[0]):
+            out, state = self.step(sequence[t : t + 1], state)
+            outputs.append(out)
+        return F.concat(outputs, axis=0)

@@ -1,0 +1,133 @@
+"""The OPC Markov decision process.
+
+State: the up-to-date mask plus the target patterns (paper Section 3.1),
+materialized as a :class:`~repro.geometry.mask_edit.MaskState` together
+with its lithography evaluation.  An action moves every segment by one of
+{-2, -1, 0, +1, +2} nm; the environment re-simulates and returns the Eq. 3
+reward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import (
+    MAX_SEGMENT_OFFSET_NM,
+    MOVE_SET_NM,
+    REWARD_BETA,
+    REWARD_EPSILON,
+)
+from repro.errors import RLError
+from repro.geometry.layout import Clip
+from repro.geometry.mask_edit import MaskState
+from repro.geometry.raster import Grid
+from repro.geometry.segmentation import Segment, fragment_clip
+from repro.litho.simulator import LithographySimulator, LithoResult
+from repro.metrology.epe import EPEReport, measure_epe, segment_epe
+from repro.metrology.pvband import pvband_area
+from repro.rl.reward import compute_reward
+
+
+@dataclass(frozen=True)
+class EnvState:
+    """One evaluated point of the OPC trajectory."""
+
+    mask: MaskState
+    litho: LithoResult
+    epe: EPEReport
+    seg_epe: np.ndarray
+    pvband: float
+
+    @property
+    def total_epe(self) -> float:
+        return self.epe.total_abs
+
+    @property
+    def mean_epe(self) -> float:
+        return self.epe.mean_abs
+
+
+class OPCEnvironment:
+    """MDP over batched segment movements for one clip."""
+
+    def __init__(
+        self,
+        clip: Clip,
+        simulator: LithographySimulator,
+        initial_bias_nm: float = 0.0,
+        max_offset_nm: int = MAX_SEGMENT_OFFSET_NM,
+        epe_search_nm: float = 40.0,
+        reward_epsilon: float = REWARD_EPSILON,
+        reward_beta: float = REWARD_BETA,
+    ) -> None:
+        self.clip = clip
+        self.simulator = simulator
+        self.initial_bias_nm = initial_bias_nm
+        self.max_offset_nm = max_offset_nm
+        self.epe_search_nm = epe_search_nm
+        self.reward_epsilon = reward_epsilon
+        self.reward_beta = reward_beta
+        self.segments: list[Segment] = fragment_clip(clip)
+        self.grid: Grid = simulator.grid_for(clip)
+
+    @property
+    def n_segments(self) -> int:
+        return len(self.segments)
+
+    @property
+    def n_actions(self) -> int:
+        return len(MOVE_SET_NM)
+
+    # -- state construction -----------------------------------------------------
+    def evaluate(self, mask: MaskState) -> EnvState:
+        """Run lithography + metrology for a mask state."""
+        litho = self.simulator.simulate_state(mask, self.grid)
+        threshold = self.simulator.config.threshold
+        epe = measure_epe(
+            litho.aerial, self.grid, self.segments, threshold,
+            search_nm=self.epe_search_nm,
+        )
+        seg = segment_epe(
+            litho.aerial, self.grid, self.segments, threshold,
+            search_nm=self.epe_search_nm,
+        )
+        pvb = pvband_area(litho.inner, litho.outer, self.grid.pixel_nm)
+        return EnvState(mask=mask, litho=litho, epe=epe, seg_epe=seg, pvband=pvb)
+
+    def reset(self, bias_nm: float | None = None) -> EnvState:
+        """Initial state; ``bias_nm`` overrides the configured initial bias
+        (used to diversify imitation-phase starting points)."""
+        mask = MaskState.initial(
+            self.clip,
+            self.segments,
+            bias_nm=self.initial_bias_nm if bias_nm is None else bias_nm,
+            max_offset=self.max_offset_nm,
+        )
+        return self.evaluate(mask)
+
+    # -- transitions ------------------------------------------------------------
+    def step(
+        self, state: EnvState, action_indices: np.ndarray
+    ) -> tuple[EnvState, float]:
+        """Apply one movement index (0..4) per segment; return next state
+        and the Eq. 3 reward."""
+        actions = np.asarray(action_indices)
+        if actions.shape != (self.n_segments,):
+            raise RLError(
+                f"expected {self.n_segments} actions, got shape {actions.shape}"
+            )
+        if actions.min() < 0 or actions.max() >= self.n_actions:
+            raise RLError("action indices must be in [0, 5)")
+        deltas = np.asarray(MOVE_SET_NM, dtype=np.float64)[actions]
+        next_state = self.evaluate(state.mask.moved(deltas))
+        reward = compute_reward(
+            epe_before=state.total_epe,
+            epe_after=next_state.total_epe,
+            pvb_before=state.pvband,
+            pvb_after=next_state.pvband,
+            epsilon=self.reward_epsilon,
+            beta=self.reward_beta,
+        )
+        return next_state, reward

@@ -1,0 +1,66 @@
+"""Phase-1 training support: mimic another OPC engine (paper Section 3.3).
+
+The teacher is any function mapping an environment state to action indices
+(in practice the model-based engine standing in for Calibre).  We roll the
+teacher forward for a limited number of steps and record the visited
+states' actions; phase-1 training replays these actions through the policy
+with the same Eq. 7 update, using the environment reward actually obtained
+by the teacher's move.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.constants import MOVE_SET_NM
+from repro.errors import RLError
+from repro.rl.env import EnvState, OPCEnvironment
+
+TeacherPolicy = Callable[[EnvState], np.ndarray]
+
+
+def greedy_teacher_actions(
+    state: EnvState, gain: float = 0.5, deadband_nm: float = 1.2
+) -> np.ndarray:
+    """EPE-proportional feedback correction, quantized to the move set.
+
+    This is the per-iteration behaviour of conventional model-based OPC:
+    move each segment against its EPE, at most 2 nm per step.  Positive
+    EPE (contour outside the target) pulls the segment inward.  Segments
+    whose |EPE| is inside the deadband hold still — without it the high
+    mask-error-enhancement factor of small patterns turns the quantized
+    +/-1 nm moves into a limit cycle around the optimum.
+    """
+    if gain <= 0:
+        raise RLError(f"gain must be positive, got {gain}")
+    moves = np.clip(np.round(-gain * state.seg_epe), MOVE_SET_NM[0], MOVE_SET_NM[-1])
+    moves[np.abs(state.seg_epe) < deadband_nm] = 0.0
+    move_set = np.asarray(MOVE_SET_NM, dtype=np.float64)
+    return np.asarray([int(np.argmin(np.abs(move_set - m))) for m in moves])
+
+
+def collect_teacher_actions(
+    env: OPCEnvironment,
+    steps: int,
+    teacher: TeacherPolicy = greedy_teacher_actions,
+    initial_state: EnvState | None = None,
+) -> list[tuple[EnvState, np.ndarray, float]]:
+    """Roll the teacher for ``steps`` mask updates.
+
+    Returns ``(state, actions, reward)`` triples — everything phase-1
+    imitation needs to replay the trajectory through a policy network.
+    ``initial_state`` lets callers start from a perturbed mask so the
+    collected states cover both under- and over-sized masks.
+    """
+    if steps < 1:
+        raise RLError(f"need at least one step, got {steps}")
+    samples: list[tuple[EnvState, np.ndarray, float]] = []
+    state = env.reset() if initial_state is None else initial_state
+    for _ in range(steps):
+        actions = np.asarray(teacher(state))
+        next_state, reward = env.step(state, actions)
+        samples.append((state, actions, reward))
+        state = next_state
+    return samples

@@ -1,0 +1,52 @@
+"""Policy-gradient update (paper Eq. 7, Williams' REINFORCE).
+
+``theta <- theta + alpha * r(s_t, a_t) * grad log pi(a_t | s_t)``
+
+The policy emits one 5-way distribution per segment; the joint
+log-probability of a batched action is the sum of per-segment log-probs.
+Note (paper Section 3.3): the gradient always uses the *unmodulated*
+policy output — the modulator only shapes which action gets sampled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import RLError
+from repro.nn.functional import log_softmax
+from repro.nn.optim import Optimizer
+from repro.nn.tensor import Tensor
+
+
+def select_log_probs(logits: Tensor, actions: np.ndarray) -> Tensor:
+    """Joint log-probability of the chosen per-segment actions.
+
+    Args:
+        logits: ``(n_segments, n_actions)`` unmodulated policy outputs.
+        actions: ``(n_segments,)`` chosen action indices.
+
+    Returns:
+        Scalar tensor ``sum_i log pi(a_i | s)``.
+    """
+    actions = np.asarray(actions)
+    if logits.ndim != 2 or actions.shape != (logits.shape[0],):
+        raise RLError(
+            f"logits {logits.shape} incompatible with actions {actions.shape}"
+        )
+    logp = log_softmax(logits, axis=-1)
+    return logp[np.arange(len(actions)), actions].sum()
+
+
+def policy_gradient_step(
+    optimizer: Optimizer,
+    log_prob: Tensor,
+    reward: float,
+    max_grad_norm: float = 10.0,
+) -> float:
+    """One Eq. 7 ascent step; returns the pre-clip gradient norm."""
+    optimizer.zero_grad()
+    loss = log_prob * (-float(reward))  # ascend reward = descend -r*logp
+    loss.backward()
+    norm = optimizer.clip_grad_norm(max_grad_norm)
+    optimizer.step()
+    return norm

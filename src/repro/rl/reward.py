@@ -1,0 +1,32 @@
+"""Reward formulation (paper Eq. 3).
+
+``r_t = (|EPE_t| - |EPE_{t+1}|) / (|EPE_t| + eps)
+      + beta * (PVB_t - PVB_{t+1}) / PVB_t``
+
+where ``|EPE_t|`` is the summed absolute EPE over the whole layout and
+``PVB_t`` the PV-band area before the action.  Positive reward means the
+action improved mask quality and/or robustness.
+"""
+
+from __future__ import annotations
+
+from repro.constants import REWARD_BETA, REWARD_EPSILON
+from repro.errors import RLError
+
+
+def compute_reward(
+    epe_before: float,
+    epe_after: float,
+    pvb_before: float,
+    pvb_after: float,
+    epsilon: float = REWARD_EPSILON,
+    beta: float = REWARD_BETA,
+) -> float:
+    """Eq. 3.  A zero ``PVB_t`` (nothing printed yet) drops the PVB term."""
+    if epsilon <= 0:
+        raise RLError(f"epsilon must be positive, got {epsilon}")
+    if min(epe_before, epe_after, pvb_before, pvb_after) < 0:
+        raise RLError("EPE/PVB magnitudes must be non-negative")
+    epe_term = (epe_before - epe_after) / (epe_before + epsilon)
+    pvb_term = beta * (pvb_before - pvb_after) / pvb_before if pvb_before > 0 else 0.0
+    return epe_term + pvb_term

@@ -1,0 +1,107 @@
+"""Adaptive squish patterns: re-gridding to a fixed tensor shape.
+
+Neural policies need constant input dimensions, but squish matrices vary
+with window complexity.  Following Yang et al. (ASPDAC'19), we *split* the
+widest grid intervals (occupancy unchanged, spacing halved) until the
+matrix reaches the requested shape, or *merge* the narrowest adjacent
+interval pairs when a window is more complex than the target shape.
+Merging ORs occupancy — a conservative, slightly lossy reduction that
+keeps every geometry edge visible.
+
+The output tensor has three channels: occupancy, normalized column widths
+(broadcast down columns), and normalized row heights (broadcast across
+rows).  Spacings are normalized *relative to the uniform cell size*
+(``value 1.0`` = the window divided evenly), so the sliver cells created
+by nanometre-scale mask offsets stand out numerically — normalizing by
+the full window extent would bury a 2 nm sliver in a 500 nm window at
+4e-3, far below what a small CNN can separate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SquishError
+from repro.squish.squish import SquishPattern
+
+
+def adaptive_squish_tensor(
+    pattern: SquishPattern, out_x: int, out_y: int
+) -> np.ndarray:
+    """Fixed-shape ``(3, out_y, out_x)`` tensor from a squish pattern.
+
+    Spacing channels are normalized by the window extent so every value
+    lies in ``[0, 1]`` regardless of window size.
+    """
+    if out_x < 2 or out_y < 2:
+        raise SquishError(f"output shape too small: ({out_y}, {out_x})")
+
+    matrix = pattern.matrix.astype(np.uint8)
+    dx = pattern.delta_x.astype(np.float64).copy()
+    dy = pattern.delta_y.astype(np.float64).copy()
+
+    matrix, dx = _fit_axis(matrix, dx, out_x, axis=1)
+    matrix, dy = _fit_axis(matrix, dy, out_y, axis=0)
+
+    uniform_w = dx.sum() / out_x
+    uniform_h = dy.sum() / out_y
+    tensor = np.empty((3, out_y, out_x), dtype=np.float64)
+    tensor[0] = matrix
+    # log1p compresses the wide dynamic range (slivers ~0.03 of a uniform
+    # cell, merged cells ~16 of one) into a CNN-friendly scale while
+    # keeping the mapping monotone and invertible (expm1).
+    tensor[1] = np.broadcast_to(
+        np.log1p(dx[None, :] / uniform_w), (out_y, out_x)
+    )
+    tensor[2] = np.broadcast_to(
+        np.log1p(dy[:, None] / uniform_h), (out_y, out_x)
+    )
+    return tensor
+
+
+def _fit_axis(
+    matrix: np.ndarray, deltas: np.ndarray, target: int, axis: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split / merge along one axis until ``len(deltas) == target``."""
+    while len(deltas) < target:
+        matrix, deltas = _split_widest(matrix, deltas, axis)
+    while len(deltas) > target:
+        matrix, deltas = _merge_narrowest(matrix, deltas, axis)
+    return matrix, deltas
+
+
+def _split_widest(
+    matrix: np.ndarray, deltas: np.ndarray, axis: int
+) -> tuple[np.ndarray, np.ndarray]:
+    k = int(np.argmax(deltas))
+    half = deltas[k] / 2
+    new_deltas = np.concatenate([deltas[:k], [half, half], deltas[k + 1 :]])
+    line = matrix[:, k : k + 1] if axis == 1 else matrix[k : k + 1, :]
+    matrix = np.concatenate(
+        [
+            matrix[:, :k] if axis == 1 else matrix[:k, :],
+            line,
+            matrix[:, k:] if axis == 1 else matrix[k:, :],
+        ],
+        axis=axis,
+    )
+    return matrix, new_deltas
+
+
+def _merge_narrowest(
+    matrix: np.ndarray, deltas: np.ndarray, axis: int
+) -> tuple[np.ndarray, np.ndarray]:
+    pair_widths = deltas[:-1] + deltas[1:]
+    k = int(np.argmin(pair_widths))
+    new_deltas = np.concatenate([deltas[:k], [pair_widths[k]], deltas[k + 2 :]])
+    if axis == 1:
+        merged = matrix[:, k] | matrix[:, k + 1]
+        matrix = np.concatenate(
+            [matrix[:, :k], merged[:, None], matrix[:, k + 2 :]], axis=1
+        )
+    else:
+        merged = matrix[k, :] | matrix[k + 1, :]
+        matrix = np.concatenate(
+            [matrix[:k, :], merged[None, :], matrix[k + 2 :, :]], axis=0
+        )
+    return matrix, new_deltas

@@ -1,0 +1,54 @@
+"""Scanline extraction for squish encoding."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import SquishError
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+
+
+def scanline_positions(
+    polygons: Iterable[Polygon],
+    window: Rect,
+    extra_x: Sequence[float] = (),
+    extra_y: Sequence[float] = (),
+    tolerance: float = 1e-9,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted unique scanline coordinates covering a window.
+
+    Scanlines are placed at the window borders and at every polygon edge
+    coordinate that falls inside the window; callers can force additional
+    scanlines (CAMO adds the *target* edges when encoding the mask).
+
+    Returns:
+        ``(xs, ys)`` strictly increasing coordinate arrays, both starting
+        at the window's low edge and ending at its high edge.
+    """
+    xs: list[float] = [window.x0, window.x1]
+    ys: list[float] = [window.y0, window.y1]
+    for polygon in polygons:
+        for x, y in polygon.vertices:
+            if window.x0 < x < window.x1:
+                xs.append(x)
+            if window.y0 < y < window.y1:
+                ys.append(y)
+    xs.extend(x for x in extra_x if window.x0 < x < window.x1)
+    ys.extend(y for y in extra_y if window.y0 < y < window.y1)
+
+    xs_arr = _dedupe_sorted(np.asarray(xs, dtype=np.float64), tolerance)
+    ys_arr = _dedupe_sorted(np.asarray(ys, dtype=np.float64), tolerance)
+    if len(xs_arr) < 2 or len(ys_arr) < 2:
+        raise SquishError("window degenerated to fewer than two scanlines")
+    return xs_arr, ys_arr
+
+
+def _dedupe_sorted(values: np.ndarray, tolerance: float) -> np.ndarray:
+    ordered = np.sort(values)
+    keep = np.empty(len(ordered), dtype=bool)
+    keep[0] = True
+    keep[1:] = np.diff(ordered) > tolerance
+    return ordered[keep]

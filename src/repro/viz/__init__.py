@@ -1,0 +1,6 @@
+"""Visualization: terminal ASCII rendering and PGM image dumps (Fig. 6)."""
+
+from repro.viz.ascii_art import ascii_image
+from repro.viz.pgm import save_pgm
+
+__all__ = ["ascii_image", "save_pgm"]

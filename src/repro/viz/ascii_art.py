@@ -1,0 +1,32 @@
+"""Terminal rendering of binary/gray layout images."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_image(image: np.ndarray, width: int = 64) -> str:
+    """Downsample a 2-D image to an ASCII block (row 0 printed last so the
+    layout's +y points up on screen)."""
+    arr = np.asarray(image, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ReproError(f"expected a 2-D image, got shape {arr.shape}")
+    rows, cols = arr.shape
+    width = min(width, cols)
+    height = max(1, int(round(width * rows / cols / 2)))  # chars are ~2:1
+    row_edges = np.linspace(0, rows, height + 1).astype(int)
+    col_edges = np.linspace(0, cols, width + 1).astype(int)
+    peak = arr.max() if arr.max() > 0 else 1.0
+    lines = []
+    for r in range(height - 1, -1, -1):
+        line = []
+        for c in range(width):
+            block = arr[row_edges[r] : row_edges[r + 1], col_edges[c] : col_edges[c + 1]]
+            level = float(block.mean()) / peak
+            line.append(_SHADES[min(int(level * (len(_SHADES) - 1) + 0.5), 9)])
+        lines.append("".join(line))
+    return "\n".join(lines)

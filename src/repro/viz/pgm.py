@@ -1,0 +1,23 @@
+"""PGM (portable graymap) image dumps — dependency-free Fig. 6 panels."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def save_pgm(image: np.ndarray, path: str) -> None:
+    """Write a 2-D array as binary PGM (P5), auto-scaled to 0..255.
+
+    Row 0 of the array (layout bottom) is written as the image's bottom row.
+    """
+    arr = np.asarray(image, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ReproError(f"expected a 2-D image, got shape {arr.shape}")
+    peak = arr.max()
+    scaled = (arr / peak * 255.0 if peak > 0 else arr).astype(np.uint8)
+    flipped = scaled[::-1]  # PGM rows go top-down; layout y goes up
+    header = f"P5\n{arr.shape[1]} {arr.shape[0]}\n255\n".encode()
+    with open(path, "wb") as handle:
+        handle.write(header + flipped.tobytes())

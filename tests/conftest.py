@@ -1,0 +1,6 @@
+"""Shared pytest configuration: make test-local helpers importable."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

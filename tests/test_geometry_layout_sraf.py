@@ -1,0 +1,85 @@
+"""Tests for Clip construction and SRAF insertion."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.layout import Clip
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+from repro.geometry.sraf import SRAF_WIDTH_NM, insert_srafs
+
+
+def make_clip(centers, layer="via", size=70, window=2000):
+    targets = tuple(Polygon.from_rect(Rect.square(cx, cy, size)) for cx, cy in centers)
+    return Clip(name="c", bbox=Rect(0, 0, window, window), targets=targets, layer=layer)
+
+
+class TestClip:
+    def test_valid_clip(self):
+        clip = make_clip([(300, 300), (600, 600)])
+        assert clip.target_count == 2
+        assert clip.layer == "via"
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(GeometryError):
+            Clip(name="x", bbox=Rect(0, 0, 100, 100), targets=(), layer="via")
+
+    def test_unknown_layer_rejected(self):
+        poly = Polygon.from_rect(Rect.square(50, 50, 20))
+        with pytest.raises(GeometryError):
+            Clip(name="x", bbox=Rect(0, 0, 100, 100), targets=(poly,), layer="poly")
+
+    def test_out_of_window_polygon_rejected(self):
+        poly = Polygon.from_rect(Rect.square(95, 95, 20))
+        with pytest.raises(GeometryError):
+            Clip(name="x", bbox=Rect(0, 0, 100, 100), targets=(poly,))
+
+    def test_with_and_without_srafs(self):
+        clip = make_clip([(300, 300)])
+        sraf = Polygon.from_rect(Rect(500, 500, 520, 580))
+        with_s = clip.with_srafs((sraf,))
+        assert len(with_s.srafs) == 1
+        assert len(with_s.without_srafs().srafs) == 0
+        assert len(with_s.all_polygons()) == 2
+
+
+class TestSrafInsertion:
+    def test_isolated_via_gets_four_bars(self):
+        clip = insert_srafs(make_clip([(1000, 1000)]))
+        assert len(clip.srafs) == 4
+
+    def test_bars_do_not_touch_targets(self):
+        clip = insert_srafs(make_clip([(1000, 1000)]))
+        via_bbox = clip.targets[0].bbox
+        for sraf in clip.srafs:
+            assert not sraf.bbox.intersects(via_bbox)
+            assert sraf.bbox.distance_to(via_bbox) > 10
+
+    def test_bars_are_subresolution(self):
+        clip = insert_srafs(make_clip([(1000, 1000)]))
+        for sraf in clip.srafs:
+            assert min(sraf.bbox.width, sraf.bbox.height) == SRAF_WIDTH_NM
+
+    def test_close_vias_drop_conflicting_bars(self):
+        # Two vias 150 nm apart: bars between them would collide.
+        far = insert_srafs(make_clip([(400, 400), (1500, 1500)]))
+        near = insert_srafs(make_clip([(400, 400), (550, 400)]))
+        assert len(near.srafs) < len(far.srafs)
+
+    def test_via_near_window_edge_drops_outside_bars(self):
+        clip = insert_srafs(make_clip([(60, 60)]))
+        assert len(clip.srafs) < 4
+        for sraf in clip.srafs:
+            assert clip.bbox.contains_rect(sraf.bbox)
+
+    def test_metal_clip_unchanged(self):
+        wire = Polygon.from_rect(Rect(100, 100, 700, 160))
+        clip = Clip(
+            name="m", bbox=Rect(0, 0, 1500, 1500), targets=(wire,), layer="metal"
+        )
+        assert insert_srafs(clip) is clip
+
+    def test_srafs_inside_window(self):
+        clip = insert_srafs(make_clip([(150, 1000), (1000, 150), (1850, 1000)]))
+        for sraf in clip.srafs:
+            assert clip.bbox.contains_rect(sraf.bbox)

@@ -1,0 +1,166 @@
+"""Tests for segment-offset mask reconstruction."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.layout import Clip
+from repro.geometry.mask_edit import MaskState, apply_offsets
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+from repro.geometry.segmentation import fragment_clip
+
+
+def via_clip():
+    return Clip(
+        name="v",
+        bbox=Rect(0, 0, 2000, 2000),
+        targets=(Polygon.from_rect(Rect.square(300, 300, 70)),),
+        layer="via",
+    )
+
+
+def metal_clip():
+    wire = Polygon.from_rect(Rect(100, 700, 700, 760))
+    return Clip(name="m", bbox=Rect(0, 0, 1500, 1500), targets=(wire,), layer="metal")
+
+
+class TestApplyOffsets:
+    def test_zero_offsets_identity(self):
+        clip = via_clip()
+        segs = fragment_clip(clip)
+        poly = apply_offsets(segs, np.zeros(4))
+        assert poly.area == pytest.approx(70 * 70)
+        assert poly.bbox == clip.targets[0].bbox
+
+    def test_uniform_outward_bias_grows_square(self):
+        segs = fragment_clip(via_clip())
+        poly = apply_offsets(segs, np.full(4, 3.0))
+        assert poly.area == pytest.approx(76 * 76)
+        assert poly.bbox == Rect(262, 262, 338, 338)
+
+    def test_uniform_inward_shrinks(self):
+        segs = fragment_clip(via_clip())
+        poly = apply_offsets(segs, np.full(4, -5.0))
+        assert poly.area == pytest.approx(60 * 60)
+
+    def test_single_edge_move(self):
+        segs = fragment_clip(via_clip())
+        offsets = np.zeros(4)
+        offsets[0] = 2.0  # bottom edge outward (down)
+        poly = apply_offsets(segs, offsets)
+        assert poly.area == pytest.approx(70 * 72)
+        assert poly.bbox.y0 == 263
+
+    def test_metal_jogs_created(self):
+        clip = metal_clip()
+        segs = fragment_clip(clip)
+        offsets = np.zeros(len(segs))
+        # Move one interior bottom fragment outward: two jogs appear.
+        bottom = [s for s in segs if s.normal == (0, -1) and s.measure_point]
+        offsets[bottom[3].index] = 2.0
+        poly = apply_offsets(segs, offsets)
+        base = clip.targets[0]
+        assert poly.area == pytest.approx(base.area + 2.0 * bottom[3].length)
+        assert len(poly.vertices) == 8  # rectangle + one notch outward
+        assert poly.is_simple()
+
+    def test_mismatched_lengths_raise(self):
+        segs = fragment_clip(via_clip())
+        with pytest.raises(GeometryError):
+            apply_offsets(segs, np.zeros(3))
+
+    def test_area_linear_in_single_offset(self):
+        """Moving one fragment changes area by offset * fragment length."""
+        clip = metal_clip()
+        segs = fragment_clip(clip)
+        base_area = clip.targets[0].area
+        for target_seg in segs[:6]:
+            for off in (-2.0, -1.0, 1.0, 2.0):
+                offsets = np.zeros(len(segs))
+                offsets[target_seg.index] = off
+                poly = apply_offsets(segs, offsets)
+                assert poly.area == pytest.approx(
+                    base_area + off * target_seg.length
+                ), f"segment {target_seg.index} offset {off}"
+
+
+class TestMaskState:
+    def test_initial_bias(self):
+        clip = via_clip()
+        segs = fragment_clip(clip)
+        state = MaskState.initial(clip, segs, bias_nm=3.0)
+        assert np.all(state.offsets == 3.0)
+        (poly, ) = state.mask_polygons()
+        assert poly.area == pytest.approx(76 * 76)
+
+    def test_moved_accumulates(self):
+        clip = via_clip()
+        segs = fragment_clip(clip)
+        state = MaskState.initial(clip, segs)
+        state = state.moved([1, 2, -1, 0])
+        state = state.moved([1, -2, -1, 2])
+        assert list(state.offsets) == [2, 0, -2, 2]
+
+    def test_moved_clamps(self):
+        clip = via_clip()
+        segs = fragment_clip(clip)
+        state = MaskState.initial(clip, segs, max_offset=5)
+        state = state.moved([100, -100, 3, 0])
+        assert list(state.offsets) == [5, -5, 3, 0]
+
+    def test_moved_wrong_shape_raises(self):
+        clip = via_clip()
+        segs = fragment_clip(clip)
+        state = MaskState.initial(clip, segs)
+        with pytest.raises(GeometryError):
+            state.moved([1, 2])
+
+    def test_srafs_pass_through(self):
+        clip = via_clip()
+        sraf = Polygon.from_rect(Rect(500, 500, 520, 580))
+        clip = clip.with_srafs((sraf,))
+        segs = fragment_clip(clip)
+        state = MaskState.initial(clip, segs)
+        polys = state.mask_polygons()
+        assert len(polys) == 2
+        assert polys[1] is sraf
+
+    def test_original_state_not_mutated(self):
+        clip = via_clip()
+        segs = fragment_clip(clip)
+        state = MaskState.initial(clip, segs)
+        _ = state.moved([2, 2, 2, 2])
+        assert np.all(state.offsets == 0)
+
+
+@given(
+    offs=st.lists(
+        st.integers(min_value=-10, max_value=10), min_size=4, max_size=4
+    )
+)
+def test_property_via_offsets_keep_polygon_simple(offs):
+    """Any clamped offset combination keeps a via polygon valid & simple."""
+    segs = fragment_clip(via_clip())
+    poly = apply_offsets(segs, np.asarray(offs, dtype=float))
+    assert poly.is_simple()
+    assert poly.area > 0
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    steps=st.integers(min_value=1, max_value=6),
+)
+def test_property_metal_random_walk_stays_valid(seed, steps):
+    """Random +/-2 nm walks (clamped) always rebuild a valid mask."""
+    clip = metal_clip()
+    segs = fragment_clip(clip)
+    state = MaskState.initial(clip, segs, max_offset=12)
+    rng = np.random.default_rng(seed)
+    for _ in range(steps):
+        deltas = rng.choice([-2, -1, 0, 1, 2], size=len(segs))
+        state = state.moved(deltas)
+    polys = state.mask_polygons()
+    assert all(p.area > 0 for p in polys)

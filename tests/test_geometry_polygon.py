@@ -1,0 +1,168 @@
+"""Unit and property tests for repro.geometry.polygon."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.polygon import Edge, Polygon
+from repro.geometry.rect import Rect
+
+
+def square(size=10.0, x=0.0, y=0.0):
+    return Polygon(((x, y), (x + size, y), (x + size, y + size), (x, y + size)))
+
+
+def l_shape():
+    """An L: 20 wide, 20 tall, with the top-right 10x10 quadrant removed."""
+    return Polygon(((0, 0), (20, 0), (20, 10), (10, 10), (10, 20), (0, 20)))
+
+
+class TestConstruction:
+    def test_square_area_perimeter(self):
+        p = square(10)
+        assert p.area == 100
+        assert p.perimeter == 40
+
+    def test_l_shape_area(self):
+        assert l_shape().area == 300
+
+    def test_cw_input_normalized_to_ccw(self):
+        cw = Polygon(((0, 0), (0, 10), (10, 10), (10, 0)))
+        ccw = square(10)
+        assert cw.area == ccw.area == 100
+        # After normalization the shoelace area must be positive for both.
+        assert cw.area > 0
+
+    def test_too_few_vertices(self):
+        with pytest.raises(GeometryError):
+            Polygon(((0, 0), (1, 0), (1, 1)))
+
+    def test_non_rectilinear_rejected(self):
+        with pytest.raises(GeometryError):
+            Polygon(((0, 0), (10, 5), (10, 10), (0, 10)))
+
+    def test_zero_area_rejected(self):
+        with pytest.raises(GeometryError):
+            Polygon(((0, 0), (10, 0), (10, 0), (0, 0)))
+
+    def test_redundant_collinear_vertices_dropped(self):
+        p = Polygon(((0, 0), (5, 0), (10, 0), (10, 10), (0, 10)))
+        assert len(p.vertices) == 4
+        assert p.area == 100
+
+    def test_duplicate_vertices_dropped(self):
+        p = Polygon(((0, 0), (10, 0), (10, 0), (10, 10), (0, 10)))
+        assert len(p.vertices) == 4
+
+    def test_from_rect(self):
+        p = Polygon.from_rect(Rect(1, 2, 5, 9))
+        assert p.area == pytest.approx(4 * 7)
+        assert p.bbox == Rect(1, 2, 5, 9)
+
+
+class TestEdges:
+    def test_square_edge_count_and_orientation(self):
+        edges = list(square(10).edges())
+        assert len(edges) == 4
+        axes = [e.axis for e in edges]
+        assert axes == ["h", "v", "h", "v"]
+
+    def test_outward_normals_ccw_square(self):
+        edges = list(square(10).edges())
+        normals = [e.outward_normal for e in edges]
+        # CCW from (0,0): bottom, right, top, left.
+        assert normals == [(0, -1), (1, 0), (0, 1), (-1, 0)]
+
+    def test_edge_midpoint_length(self):
+        e = Edge((0, 0), (10, 0))
+        assert e.midpoint == (5, 0)
+        assert e.length == 10
+        assert e.direction == (1, 0)
+
+    def test_l_shape_normals_point_outward(self):
+        poly = l_shape()
+        for edge in poly.edges():
+            mx, my = edge.midpoint
+            nx, ny = edge.outward_normal
+            # Nudge along the normal: outside must not contain the point.
+            assert not poly.contains_point(mx + 0.5 * nx, my + 0.5 * ny)
+            assert poly.contains_point(mx - 0.5 * nx, my - 0.5 * ny)
+
+
+class TestContainment:
+    def test_inside_outside(self):
+        p = square(10)
+        assert p.contains_point(5, 5)
+        assert not p.contains_point(15, 5)
+        assert not p.contains_point(5, -1)
+
+    def test_boundary_counts_inside(self):
+        p = square(10)
+        assert p.contains_point(0, 5)
+        assert p.contains_point(10, 5)
+        assert p.contains_point(5, 0)
+        assert p.contains_point(5, 10)
+
+    def test_l_shape_notch_outside(self):
+        p = l_shape()
+        assert p.contains_point(5, 5)
+        assert p.contains_point(15, 5)
+        assert p.contains_point(5, 15)
+        assert not p.contains_point(15, 15)  # removed quadrant
+
+
+class TestSimplicity:
+    def test_square_is_simple(self):
+        assert square().is_simple()
+
+    def test_l_shape_is_simple(self):
+        assert l_shape().is_simple()
+
+
+class TestEditing:
+    def test_translated(self):
+        p = square(10).translated(5, -3)
+        assert p.bbox == Rect(5, -3, 15, 7)
+        assert p.area == 100
+
+    def test_scaled(self):
+        p = square(10).scaled(2)
+        assert p.area == 400
+
+    def test_scaled_nonpositive_rejected(self):
+        with pytest.raises(GeometryError):
+            square().scaled(0)
+
+
+sizes = st.integers(min_value=1, max_value=1000)
+offsets = st.integers(min_value=-10000, max_value=10000)
+
+
+@given(w=sizes, h=sizes, dx=offsets, dy=offsets)
+def test_property_translation_invariants(w, h, dx, dy):
+    p = Polygon.from_rect(Rect(0, 0, w, h))
+    q = p.translated(dx, dy)
+    assert q.area == pytest.approx(p.area)
+    assert q.perimeter == pytest.approx(p.perimeter)
+
+
+@given(w=sizes, h=sizes, notch_w=sizes, notch_h=sizes)
+def test_property_notched_rect_area(w, h, notch_w, notch_h):
+    """Cutting a notch out of a rect corner reduces area by the notch."""
+    nw = min(notch_w, w - 1) if notch_w >= w else notch_w
+    nh = min(notch_h, h - 1) if notch_h >= h else notch_h
+    if nw <= 0 or nh <= 0 or nw >= w or nh >= h:
+        return
+    poly = Polygon(
+        ((0, 0), (w, 0), (w, h - nh), (w - nw, h - nh), (w - nw, h), (0, h))
+    )
+    assert poly.area == pytest.approx(w * h - nw * nh)
+
+
+@given(w=sizes, h=sizes)
+def test_property_edge_walk_closes(w, h):
+    p = Polygon.from_rect(Rect(0, 0, w, h))
+    edges = list(p.edges())
+    for e, f in zip(edges, edges[1:] + edges[:1]):
+        assert e.b == f.a

@@ -1,0 +1,125 @@
+"""Tests for rasterization and bilinear sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import RasterError
+from repro.geometry.polygon import Polygon
+from repro.geometry.raster import Grid, bilinear_sample, bilinear_sample_many, rasterize
+from repro.geometry.rect import Rect
+
+
+class TestGrid:
+    def test_for_window(self):
+        g = Grid.for_window(Rect(0, 0, 100, 60), pixel_nm=4)
+        assert g.shape == (15, 25)
+        assert g.window.width == 100
+        assert g.window.height == 60
+
+    def test_bad_pixel_size(self):
+        with pytest.raises(RasterError):
+            Grid(0, 0, 0, 10, 10)
+
+    def test_empty_grid(self):
+        with pytest.raises(RasterError):
+            Grid(0, 0, 4, 0, 10)
+
+    def test_centers(self):
+        g = Grid(0, 0, 4, 2, 3)
+        assert list(g.x_centers()) == [2, 6, 10]
+        assert list(g.y_centers()) == [2, 6]
+
+    def test_fractional_index_roundtrip(self):
+        g = Grid(10, 20, 4, 8, 8)
+        row, col = g.nm_to_fractional_index(10 + 4 * 2.5, 20 + 4 * 6.5)
+        assert (row, col) == (6.0, 2.0)
+
+
+class TestRasterize:
+    def test_full_window_square(self):
+        g = Grid(0, 0, 4, 10, 10)
+        image = rasterize([Polygon.from_rect(Rect(0, 0, 40, 40))], g)
+        assert image.sum() == 100
+
+    def test_centered_square_area(self):
+        g = Grid(0, 0, 4, 50, 50)
+        # 72 nm square aligned to the pixel grid: exactly 18x18 pixels.
+        image = rasterize([Polygon.from_rect(Rect.square(100, 100, 72))], g)
+        assert image.sum() == 18 * 18
+
+    def test_disjoint_union(self):
+        g = Grid(0, 0, 4, 50, 50)
+        polys = [
+            Polygon.from_rect(Rect(0, 0, 40, 40)),
+            Polygon.from_rect(Rect(100, 100, 140, 140)),
+        ]
+        image = rasterize(polys, g)
+        assert image.sum() == 200
+
+    def test_l_shape_pixel_count(self):
+        g = Grid(0, 0, 1, 30, 30)
+        poly = Polygon(((0, 0), (20, 0), (20, 10), (10, 10), (10, 20), (0, 20)))
+        image = rasterize([poly], g)
+        assert image.sum() == 300  # matches polygon.area at 1 nm pixels
+
+    def test_empty_polygon_list(self):
+        g = Grid(0, 0, 4, 5, 5)
+        assert rasterize([], g).sum() == 0
+
+    def test_outside_window_clips_to_nothing(self):
+        g = Grid(0, 0, 4, 10, 10)
+        image = rasterize([Polygon.from_rect(Rect(100, 100, 140, 140))], g)
+        assert image.sum() == 0
+
+
+class TestBilinear:
+    def test_constant_field(self):
+        g = Grid(0, 0, 4, 10, 10)
+        field = np.full(g.shape, 7.5)
+        assert bilinear_sample(field, g, 13.3, 27.9) == pytest.approx(7.5)
+
+    def test_linear_field_exact(self):
+        """Bilinear interpolation reproduces affine fields exactly."""
+        g = Grid(0, 0, 2, 20, 20)
+        xs = g.x_centers()
+        ys = g.y_centers()
+        field = ys[:, None] * 3.0 + xs[None, :] * 2.0 + 1.0
+        for (x, y) in [(5.0, 7.0), (10.5, 3.25), (30.0, 30.0)]:
+            assert bilinear_sample(field, g, x, y) == pytest.approx(
+                3.0 * y + 2.0 * x + 1.0
+            )
+
+    def test_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        g = Grid(0, 0, 4, 16, 16)
+        field = rng.random(g.shape)
+        xs = rng.uniform(0, 64, size=20)
+        ys = rng.uniform(0, 64, size=20)
+        many = bilinear_sample_many(field, g, xs, ys)
+        for x, y, v in zip(xs, ys, many):
+            assert bilinear_sample(field, g, x, y) == pytest.approx(v)
+
+    def test_clamps_outside(self):
+        g = Grid(0, 0, 4, 4, 4)
+        field = np.arange(16, dtype=float).reshape(4, 4)
+        assert bilinear_sample(field, g, -100, -100) == field[0, 0]
+        assert bilinear_sample(field, g, 1e6, 1e6) == field[-1, -1]
+
+
+@given(
+    size=st.integers(min_value=8, max_value=96),
+    cx=st.integers(min_value=60, max_value=140),
+    cy=st.integers(min_value=60, max_value=140),
+)
+def test_property_raster_area_close_to_polygon_area(size, cx, cy):
+    """Pixel count * pixel area approximates polygon area within one pixel
+    ring around the perimeter."""
+    g = Grid(0, 0, 4, 50, 50)
+    poly = Polygon.from_rect(Rect.square(cx, cy, size))
+    image = rasterize([poly], g)
+    pixel_area = 16.0
+    measured = image.sum() * pixel_area
+    tolerance = poly.perimeter * 4 + 16
+    assert abs(measured - poly.area) <= tolerance

@@ -1,0 +1,107 @@
+"""Unit and property tests for repro.geometry.rect."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.rect import Rect
+
+
+def test_basic_properties():
+    r = Rect(0, 0, 10, 20)
+    assert r.width == 10
+    assert r.height == 20
+    assert r.area == 200
+    assert r.center == (5, 10)
+
+
+def test_degenerate_rect_raises():
+    with pytest.raises(GeometryError):
+        Rect(0, 0, 0, 10)
+    with pytest.raises(GeometryError):
+        Rect(0, 0, 10, 0)
+    with pytest.raises(GeometryError):
+        Rect(5, 5, 1, 10)
+
+
+def test_from_center_and_square():
+    r = Rect.from_center(50, 60, 20, 10)
+    assert (r.x0, r.y0, r.x1, r.y1) == (40, 55, 60, 65)
+    s = Rect.square(0, 0, 70)
+    assert s.width == 70 and s.height == 70
+    assert s.center == (0, 0)
+
+
+def test_contains_point_boundary_inclusive():
+    r = Rect(0, 0, 10, 10)
+    assert r.contains_point(0, 0)
+    assert r.contains_point(10, 10)
+    assert r.contains_point(5, 5)
+    assert not r.contains_point(-0.1, 5)
+    assert not r.contains_point(5, 10.1)
+
+
+def test_contains_rect():
+    outer = Rect(0, 0, 100, 100)
+    assert outer.contains_rect(Rect(10, 10, 90, 90))
+    assert outer.contains_rect(outer)
+    assert not outer.contains_rect(Rect(10, 10, 110, 90))
+
+
+def test_intersects_positive_area_only():
+    a = Rect(0, 0, 10, 10)
+    assert a.intersects(Rect(5, 5, 15, 15))
+    assert not a.intersects(Rect(10, 0, 20, 10))  # touching edge: no area
+    assert not a.intersects(Rect(20, 20, 30, 30))
+
+
+def test_distance_to():
+    a = Rect(0, 0, 10, 10)
+    assert a.distance_to(Rect(20, 0, 30, 10)) == 10
+    assert a.distance_to(Rect(0, 25, 10, 30)) == 15
+    assert a.distance_to(Rect(13, 14, 20, 20)) == 5  # 3-4-5 triangle
+    assert a.distance_to(Rect(5, 5, 15, 15)) == 0
+
+
+def test_expanded_and_translated():
+    r = Rect(10, 10, 20, 20)
+    grown = r.expanded(5)
+    assert (grown.x0, grown.y0, grown.x1, grown.y1) == (5, 5, 25, 25)
+    shrunk = r.expanded(-2)
+    assert shrunk.width == 6
+    moved = r.translated(-10, 3)
+    assert (moved.x0, moved.y0) == (0, 13)
+
+
+def test_union_bbox():
+    a = Rect(0, 0, 10, 10)
+    b = Rect(5, -5, 20, 3)
+    u = a.union_bbox(b)
+    assert (u.x0, u.y0, u.x1, u.y1) == (0, -5, 20, 10)
+
+
+coords = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+sizes = st.floats(min_value=0.5, max_value=1e4, allow_nan=False)
+
+
+@given(cx=coords, cy=coords, w=sizes, h=sizes)
+def test_property_from_center_roundtrip(cx, cy, w, h):
+    r = Rect.from_center(cx, cy, w, h)
+    gx, gy = r.center
+    assert abs(gx - cx) < 1e-6 * max(1, abs(cx))
+    assert abs(gy - cy) < 1e-6 * max(1, abs(cy))
+    assert abs(r.area - w * h) <= 1e-6 * w * h + 1e-9
+
+
+@given(cx=coords, cy=coords, w=sizes, h=sizes, dx=coords, dy=coords)
+def test_property_translation_preserves_area(cx, cy, w, h, dx, dy):
+    r = Rect.from_center(cx, cy, w, h)
+    assert r.translated(dx, dy).area == pytest.approx(r.area)
+
+
+@given(cx=coords, cy=coords, w=sizes, h=sizes, m=st.floats(min_value=0, max_value=100))
+def test_property_expansion_monotonic(cx, cy, w, h, m):
+    r = Rect.from_center(cx, cy, w, h)
+    assert r.expanded(m).area >= r.area
+    assert r.expanded(m).contains_rect(r)

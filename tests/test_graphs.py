@@ -1,0 +1,143 @@
+"""Tests for segment-graph construction and RNN visit orders."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.geometry import Clip, Polygon, Rect, fragment_clip
+from repro.graphs import (
+    bfs_order,
+    build_segment_graph,
+    nearest_neighbor_order,
+    snake_order,
+)
+from repro.graphs.ordering import get_ordering
+
+
+def via_clip(centers):
+    targets = tuple(Polygon.from_rect(Rect.square(cx, cy, 70)) for cx, cy in centers)
+    return Clip(name="g", bbox=Rect(0, 0, 2000, 2000), targets=targets, layer="via")
+
+
+class TestConstruction:
+    def test_single_via_fully_connected(self):
+        """Four segments of one 70 nm via are all within 250 nm."""
+        segments = fragment_clip(via_clip([(500, 500)]))
+        graph = build_segment_graph(segments)
+        assert graph.n_nodes == 4
+        assert graph.n_edges == 6  # complete graph K4
+
+    def test_far_vias_disconnected(self):
+        segments = fragment_clip(via_clip([(300, 300), (1500, 1500)]))
+        graph = build_segment_graph(segments)
+        # Two K4 components, no cross edges.
+        assert graph.n_edges == 12
+        nx_graph = graph.to_networkx()
+        import networkx as nx
+
+        assert nx.number_connected_components(nx_graph) == 2
+
+    def test_close_vias_connected(self):
+        segments = fragment_clip(via_clip([(500, 500), (680, 500)]))
+        graph = build_segment_graph(segments)
+        import networkx as nx
+
+        assert nx.number_connected_components(graph.to_networkx()) == 1
+
+    def test_threshold_controls_edges(self):
+        segments = fragment_clip(via_clip([(500, 500), (680, 500)]))
+        tight = build_segment_graph(segments, threshold_nm=100)
+        loose = build_segment_graph(segments, threshold_nm=400)
+        assert tight.n_edges < loose.n_edges
+
+    def test_no_self_loops(self):
+        segments = fragment_clip(via_clip([(500, 500)]))
+        graph = build_segment_graph(segments)
+        for i, adj in enumerate(graph.neighbors):
+            assert i not in adj
+
+    def test_symmetry(self):
+        segments = fragment_clip(via_clip([(500, 500), (650, 620)]))
+        graph = build_segment_graph(segments)
+        for i, adj in enumerate(graph.neighbors):
+            for j in adj:
+                assert i in graph.neighbors[j]
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            build_segment_graph([])
+
+    def test_bad_threshold(self):
+        segments = fragment_clip(via_clip([(500, 500)]))
+        with pytest.raises(GraphError):
+            build_segment_graph(segments, threshold_nm=0)
+
+    def test_degree(self):
+        segments = fragment_clip(via_clip([(500, 500)]))
+        graph = build_segment_graph(segments)
+        assert all(graph.degree(i) == 3 for i in range(4))
+
+
+class TestOrdering:
+    def graph(self):
+        segments = fragment_clip(
+            via_clip([(300, 300), (600, 300), (300, 900), (1500, 1500)])
+        )
+        return build_segment_graph(segments)
+
+    @pytest.mark.parametrize("order_fn", [snake_order, nearest_neighbor_order, bfs_order])
+    def test_permutation(self, order_fn):
+        graph = self.graph()
+        order = order_fn(graph)
+        assert sorted(order) == list(range(graph.n_nodes))
+
+    def test_snake_bands_monotone_y(self):
+        graph = self.graph()
+        order = snake_order(graph, band_nm=150)
+        ys = [graph.segments[i].control[1] for i in order]
+        bands = [int(y // 150) for y in ys]
+        assert bands == sorted(bands)
+
+    def test_nearest_neighbor_consecutive_close(self):
+        graph = self.graph()
+        order = nearest_neighbor_order(graph)
+        controls = np.asarray([s.control for s in graph.segments])
+        # Average hop inside a via cluster must be far below clip size.
+        hops = [
+            np.hypot(*(controls[a] - controls[b]))
+            for a, b in zip(order, order[1:])
+        ]
+        assert np.median(hops) < 300
+
+    def test_bfs_visits_components_in_order(self):
+        graph = self.graph()
+        order = bfs_order(graph)
+        assert order[0] == 0
+
+    def test_get_ordering_lookup(self):
+        assert get_ordering("snake") is snake_order
+        with pytest.raises(GraphError):
+            get_ordering("random")
+
+    def test_snake_bad_band(self):
+        with pytest.raises(GraphError):
+            snake_order(self.graph(), band_nm=0)
+
+
+@given(
+    n_vias=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_orderings_are_permutations(n_vias, seed):
+    rng = np.random.default_rng(seed)
+    centers = []
+    while len(centers) < n_vias:
+        cx, cy = rng.integers(200, 1800, size=2)
+        if all(abs(cx - a) + abs(cy - b) > 200 for a, b in centers):
+            centers.append((int(cx), int(cy)))
+    segments = fragment_clip(via_clip(centers))
+    graph = build_segment_graph(segments)
+    for fn in (snake_order, nearest_neighbor_order, bfs_order):
+        assert sorted(fn(graph)) == list(range(graph.n_nodes))

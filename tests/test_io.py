@@ -1,0 +1,81 @@
+"""Tests for GDSII and JSON clip I/O."""
+
+import pytest
+
+from repro.data.via_bench import generate_via_clip
+from repro.errors import DataError
+from repro.geometry import Polygon, Rect
+from repro.io import (
+    clip_from_json,
+    clip_to_json,
+    load_clip,
+    read_gds_polygons,
+    save_clip,
+    write_gds,
+)
+
+
+class TestGDS:
+    def test_roundtrip_rect(self, tmp_path):
+        path = str(tmp_path / "one.gds")
+        poly = Polygon.from_rect(Rect(100, 200, 170, 270))
+        write_gds(path, [poly])
+        loaded = read_gds_polygons(path)
+        assert len(loaded) == 1
+        assert loaded[0].area == pytest.approx(poly.area)
+        assert loaded[0].bbox == poly.bbox
+
+    def test_roundtrip_clip_geometry(self, tmp_path):
+        path = str(tmp_path / "clip.gds")
+        clip = generate_via_clip("g", n_vias=4, seed=9)
+        polys = list(clip.all_polygons())
+        write_gds(path, polys)
+        loaded = read_gds_polygons(path)
+        assert len(loaded) == len(polys)
+        assert sum(p.area for p in loaded) == pytest.approx(
+            sum(p.area for p in polys)
+        )
+
+    def test_l_shape_roundtrip(self, tmp_path):
+        path = str(tmp_path / "l.gds")
+        l_poly = Polygon(((0, 0), (20, 0), (20, 10), (10, 10), (10, 20), (0, 20)))
+        write_gds(path, [l_poly])
+        (loaded,) = read_gds_polygons(path)
+        assert loaded.area == pytest.approx(300)
+
+    def test_header_is_valid_gdsii(self, tmp_path):
+        path = str(tmp_path / "hdr.gds")
+        write_gds(path, [Polygon.from_rect(Rect(0, 0, 10, 10))])
+        with open(path, "rb") as handle:
+            raw = handle.read(6)
+        # First record: length 6, tag 0x0002 (HEADER), version 600.
+        assert raw[:4] == b"\x00\x06\x00\x02"
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.gds")
+        with open(path, "wb") as handle:
+            handle.write(b"\x00\x01\x00\x02garbage")
+        with pytest.raises(DataError):
+            read_gds_polygons(path)
+
+
+class TestClipJSON:
+    def test_roundtrip(self):
+        clip = generate_via_clip("j", n_vias=3, seed=4)
+        restored = clip_from_json(clip_to_json(clip))
+        assert restored.name == clip.name
+        assert restored.layer == clip.layer
+        assert restored.bbox == clip.bbox
+        assert restored.targets == clip.targets
+        assert restored.srafs == clip.srafs
+        assert restored.metadata["n_vias"] == 3
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "clip.json")
+        clip = generate_via_clip("f", n_vias=2, seed=8)
+        save_clip(clip, path)
+        assert load_clip(path).targets == clip.targets
+
+    def test_version_check(self):
+        with pytest.raises(DataError):
+            clip_from_json('{"version": 99}')

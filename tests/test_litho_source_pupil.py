@@ -1,0 +1,101 @@
+"""Tests for illumination source and pupil models."""
+
+import numpy as np
+import pytest
+
+from repro.constants import NUMERICAL_APERTURE, WAVELENGTH_NM
+from repro.errors import LithoError
+from repro.litho.pupil import pupil_function
+from repro.litho.source import SourceSpec, source_weights
+
+CUTOFF = NUMERICAL_APERTURE / WAVELENGTH_NM
+
+
+class TestSourceSpec:
+    def test_default_circular(self):
+        spec = SourceSpec()
+        assert spec.shape == "circular"
+        assert spec.outer_sigma == spec.sigma
+
+    def test_annular_outer(self):
+        spec = SourceSpec(shape="annular")
+        assert spec.outer_sigma == spec.sigma_out
+
+    def test_bad_shape(self):
+        with pytest.raises(LithoError):
+            SourceSpec(shape="quasar")
+
+    def test_bad_circular_sigma(self):
+        with pytest.raises(LithoError):
+            SourceSpec(sigma=0.0)
+        with pytest.raises(LithoError):
+            SourceSpec(sigma=1.5)
+
+    def test_bad_annular_bounds(self):
+        with pytest.raises(LithoError):
+            SourceSpec(shape="annular", sigma_in=0.8, sigma_out=0.5)
+
+
+class TestSourceWeights:
+    def grid(self, n=41, extent=1.2):
+        f = np.linspace(-extent * CUTOFF, extent * CUTOFF, n)
+        fx, fy = np.meshgrid(f, f)
+        return np.stack([fx.ravel(), fy.ravel()], axis=1)
+
+    def test_circular_inside_outside(self):
+        spec = SourceSpec(sigma=0.7)
+        freqs = self.grid()
+        w = source_weights(spec, freqs, CUTOFF)
+        radius = np.hypot(freqs[:, 0], freqs[:, 1]) / CUTOFF
+        assert np.all(w[radius <= 0.69] == 1)
+        assert np.all(w[radius > 0.71] == 0)
+
+    def test_annular_ring_only(self):
+        spec = SourceSpec(shape="annular", sigma_in=0.5, sigma_out=0.8)
+        freqs = self.grid()
+        w = source_weights(spec, freqs, CUTOFF)
+        radius = np.hypot(freqs[:, 0], freqs[:, 1]) / CUTOFF
+        assert np.all(w[radius < 0.49] == 0)
+        assert np.all(w[(radius > 0.51) & (radius < 0.79)] == 1)
+        assert np.all(w[radius > 0.81] == 0)
+
+    def test_empty_source_raises(self):
+        spec = SourceSpec(sigma=0.7)
+        far = np.array([[10 * CUTOFF, 0.0]])
+        with pytest.raises(LithoError):
+            source_weights(spec, far, CUTOFF)
+
+
+class TestPupil:
+    def test_disk_support(self):
+        freqs = np.array([[0, 0], [0.99 * CUTOFF, 0], [1.01 * CUTOFF, 0]])
+        p = pupil_function(freqs)
+        assert p[0] == 1
+        assert abs(p[1]) == pytest.approx(1)
+        assert p[2] == 0
+
+    def test_focus_is_real_unity(self):
+        freqs = np.array([[0.5 * CUTOFF, 0.3 * CUTOFF]])
+        p = pupil_function(freqs, defocus_nm=0.0)
+        assert p[0] == pytest.approx(1.0 + 0.0j)
+
+    def test_defocus_pure_phase(self):
+        freqs = np.array([[0.5 * CUTOFF, 0.0]])
+        p = pupil_function(freqs, defocus_nm=50.0)
+        assert abs(p[0]) == pytest.approx(1.0)
+        assert p[0].imag != 0
+
+    def test_defocus_phase_quadratic(self):
+        f1 = np.array([[0.3 * CUTOFF, 0.0]])
+        f2 = np.array([[0.6 * CUTOFF, 0.0]])
+        z = 40.0
+        p1 = pupil_function(f1, defocus_nm=z)
+        p2 = pupil_function(f2, defocus_nm=z)
+        # |f| doubles -> phase quadruples (mod 2 pi).
+        phase1 = np.angle(p1[0])
+        phase2 = np.angle(p2[0])
+        assert np.exp(1j * 4 * phase1) == pytest.approx(np.exp(1j * phase2), abs=1e-9)
+
+    def test_invalid_optics(self):
+        with pytest.raises(LithoError):
+            pupil_function(np.zeros((1, 2)), wavelength_nm=0)

@@ -1,0 +1,177 @@
+"""Tests for EPE and PV-band metrology, including the sign convention."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MetrologyError
+from repro.geometry import Clip, Grid, Polygon, Rect, fragment_clip, rasterize
+from repro.litho import LithoConfig, LithographySimulator
+from repro.metrology import (
+    contour_offset_along_normal,
+    measure_epe,
+    pvband_area,
+    pvband_image,
+    segment_epe,
+)
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return LithographySimulator(
+        LithoConfig(pixel_nm=8.0, period_nm=1024.0, max_kernels=8)
+    )
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return Grid(0, 0, 8.0, 160, 160)
+
+
+def clip_with_via(size=70):
+    return Clip(
+        name="t",
+        bbox=Rect(0, 0, 1280, 1280),
+        targets=(Polygon.from_rect(Rect.square(640, 640, size)),),
+        layer="via",
+    )
+
+
+class TestContourOffset:
+    def test_synthetic_step_field(self):
+        """A synthetic linear intensity ramp has an exactly computable contour."""
+        g = Grid(0, 0, 1.0, 64, 64)
+        xs = g.x_centers()
+        # Intensity falls linearly with x: I = 1 - x/64; threshold 0.5 at x=32.
+        aerial = np.tile(1.0 - xs / 64.0, (64, 1))
+        points = np.array([[30.0, 32.0]])
+        normals = np.array([[1.0, 0.0]])
+        offset = contour_offset_along_normal(aerial, g, points, normals, 0.5)
+        assert offset[0] == pytest.approx(2.0, abs=0.05)
+
+    def test_negative_when_contour_inside(self):
+        g = Grid(0, 0, 1.0, 64, 64)
+        xs = g.x_centers()
+        aerial = np.tile(1.0 - xs / 64.0, (64, 1))
+        points = np.array([[40.0, 32.0]])  # target edge beyond the contour
+        normals = np.array([[1.0, 0.0]])
+        offset = contour_offset_along_normal(aerial, g, points, normals, 0.5)
+        assert offset[0] == pytest.approx(-8.0, abs=0.05)
+
+    def test_clamps_when_unprinted(self):
+        g = Grid(0, 0, 1.0, 64, 64)
+        aerial = np.zeros((64, 64))
+        points = np.array([[32.0, 32.0]])
+        normals = np.array([[1.0, 0.0]])
+        offset = contour_offset_along_normal(
+            aerial, g, points, normals, 0.5, search_nm=20
+        )
+        assert offset[0] == -20
+
+    def test_clamps_when_flooded(self):
+        g = Grid(0, 0, 1.0, 64, 64)
+        aerial = np.ones((64, 64))
+        points = np.array([[32.0, 32.0]])
+        normals = np.array([[1.0, 0.0]])
+        offset = contour_offset_along_normal(
+            aerial, g, points, normals, 0.5, search_nm=20
+        )
+        assert offset[0] == 20
+
+    def test_shape_validation(self):
+        g = Grid(0, 0, 1.0, 8, 8)
+        with pytest.raises(MetrologyError):
+            contour_offset_along_normal(
+                np.ones((8, 8)), g, np.zeros((2, 2)), np.zeros((3, 2)), 0.5
+            )
+
+    def test_param_validation(self):
+        g = Grid(0, 0, 1.0, 8, 8)
+        with pytest.raises(MetrologyError):
+            contour_offset_along_normal(
+                np.ones((8, 8)), g, np.zeros((1, 2)), np.ones((1, 2)), 0.5,
+                search_nm=-1,
+            )
+
+
+class TestEPESign:
+    """The paper's convention: undersized print -> negative EPE -> the
+    modulator should push segments outward."""
+
+    def test_undersized_via_negative_epe(self, sim, grid):
+        clip = clip_with_via(70)
+        segments = fragment_clip(clip)
+        # Mask at target size: via underprints (intensity lacking).
+        mask = rasterize(clip.targets, grid)
+        aerial = sim.aerial(mask)
+        report = measure_epe(aerial, grid, segments, sim.config.threshold)
+        assert report.count == 4
+        assert np.all(report.values < 0)
+
+    def test_oversized_mask_moves_epe_positive(self, sim, grid):
+        clip = clip_with_via(70)
+        segments = fragment_clip(clip)
+        big = rasterize([Polygon.from_rect(Rect.square(640, 640, 120))], grid)
+        small = rasterize([Polygon.from_rect(Rect.square(640, 640, 80))], grid)
+        epe_big = measure_epe(sim.aerial(big), grid, segments, sim.config.threshold)
+        epe_small = measure_epe(sim.aerial(small), grid, segments, sim.config.threshold)
+        assert epe_big.values.mean() > epe_small.values.mean()
+
+    def test_segment_epe_covers_all_segments(self, sim, grid):
+        clip = clip_with_via(70)
+        segments = fragment_clip(clip)
+        aerial = sim.aerial(rasterize(clip.targets, grid))
+        values = segment_epe(aerial, grid, segments, sim.config.threshold)
+        assert len(values) == len(segments)
+
+    def test_report_statistics(self):
+        from repro.metrology.epe import EPEReport
+
+        report = EPEReport(values=np.array([3.0, -4.0, 0.5, 7.0]))
+        assert report.total_abs == pytest.approx(14.5)
+        assert report.mean_abs == pytest.approx(14.5 / 4)
+        assert report.max_abs == 7.0
+        assert report.violations(5.0) == 1
+        assert report.count == 4
+
+    def test_empty_report(self):
+        from repro.metrology.epe import EPEReport
+
+        report = EPEReport(values=np.zeros(0))
+        assert report.total_abs == 0
+        assert report.mean_abs == 0
+
+
+class TestPVBand:
+    def test_disjoint_band(self):
+        inner = np.zeros((10, 10), dtype=np.uint8)
+        outer = np.zeros((10, 10), dtype=np.uint8)
+        inner[4:6, 4:6] = 1
+        outer[3:7, 3:7] = 1
+        band = pvband_image(inner, outer)
+        assert band.sum() == 16 - 4
+        assert pvband_area(inner, outer, pixel_nm=2.0) == 12 * 4
+
+    def test_identical_corners_zero_band(self):
+        img = np.ones((5, 5), dtype=np.uint8)
+        assert pvband_area(img, img, 4.0) == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(MetrologyError):
+            pvband_image(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_bad_pixel(self):
+        with pytest.raises(MetrologyError):
+            pvband_area(np.zeros((2, 2)), np.zeros((2, 2)), 0)
+
+    def test_real_simulation_band(self, grid):
+        # A wide dose excursion guarantees a visible band even on the
+        # coarse 8 nm test grid (the +/-2% default can stay sub-pixel).
+        sim = LithographySimulator(
+            LithoConfig(
+                pixel_nm=8.0, period_nm=1024.0, max_kernels=8, dose_variation=0.15
+            )
+        )
+        mask = rasterize([Polygon.from_rect(Rect.square(640, 640, 100))], grid)
+        result = sim.simulate_mask(mask, grid)
+        area = pvband_area(result.inner, result.outer, grid.pixel_nm)
+        assert area > 0

@@ -1,0 +1,276 @@
+"""Tests for Module system, layers, RNN, GraphSAGE, optimizers."""
+
+import numpy as np
+import pytest
+
+from nn_gradcheck import check_gradient
+from repro.errors import NNError
+from repro.geometry import Clip, Polygon, Rect, fragment_clip
+from repro.graphs import build_segment_graph
+from repro.nn import (
+    SGD,
+    Adam,
+    Conv2d,
+    ElmanRNN,
+    Flatten,
+    GraphSAGEConv,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Tanh,
+    Tensor,
+)
+from repro.nn.sage import mean_adjacency
+
+rng = np.random.default_rng(3)
+
+
+class TestModuleSystem:
+    def test_parameter_registration(self):
+        layer = Linear(4, 2)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+        assert layer.parameter_count() == 4 * 2 + 2
+
+    def test_nested_modules(self):
+        model = Sequential(Linear(4, 8), ReLU(), Linear(8, 2))
+        assert model.parameter_count() == (4 * 8 + 8) + (8 * 2 + 2)
+        names = [n for n, _ in model.named_parameters()]
+        assert "layer0.weight" in names
+        assert "layer2.bias" in names
+
+    def test_zero_grad(self):
+        layer = Linear(3, 3)
+        out = layer(Tensor(rng.normal(size=(2, 3))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_state_dict_roundtrip(self, tmp_path):
+        model = Sequential(Linear(4, 8, rng=rng), Tanh(), Linear(8, 2, rng=rng))
+        path = str(tmp_path / "model.npz")
+        model.save(path)
+        clone = Sequential(Linear(4, 8), Tanh(), Linear(8, 2))
+        clone.load(path)
+        x = Tensor(rng.normal(size=(3, 4)))
+        assert np.allclose(model(x).numpy(), clone(x).numpy())
+
+    def test_load_mismatch_raises(self):
+        a = Linear(4, 2)
+        b = Linear(5, 2)
+        with pytest.raises(NNError):
+            b.load_state_dict(a.state_dict())
+
+    def test_custom_module_forward_required(self):
+        class Broken(Module):
+            pass
+
+        with pytest.raises(NotImplementedError):
+            Broken()(Tensor([1.0]))
+
+
+class TestLayers:
+    def test_linear_shapes_and_grad(self):
+        layer = Linear(6, 4, rng=rng)
+        x = rng.normal(size=(5, 6))
+
+        def loss(t):
+            return (layer(t) ** 2.0).sum()
+
+        check_gradient(loss, x)
+
+    def test_linear_validation(self):
+        with pytest.raises(NNError):
+            Linear(4, 2)(Tensor(np.zeros((3, 5))))
+
+    def test_conv_layer_shape(self):
+        layer = Conv2d(3, 8, kernel_size=3, stride=2, padding=1, rng=rng)
+        out = layer(Tensor(rng.normal(size=(2, 3, 16, 16))))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_cnn_pipeline(self):
+        model = Sequential(
+            Conv2d(6, 4, 3, stride=2, padding=1, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Linear(4 * 4 * 4, 10, rng=rng),
+        )
+        out = model(Tensor(rng.normal(size=(3, 6, 16, 16))))
+        assert out.shape == (3, 10)
+
+    def test_training_reduces_loss(self):
+        """A tiny regression problem must be learnable end to end."""
+        model = Sequential(Linear(3, 16, rng=rng), Tanh(), Linear(16, 1, rng=rng))
+        x = rng.normal(size=(64, 3))
+        y = x[:, :1] * 2 - x[:, 1:2] + 0.5
+        opt = Adam(model.parameters(), lr=1e-2)
+        first = None
+        for _ in range(200):
+            opt.zero_grad()
+            pred = model(Tensor(x))
+            loss = ((pred - Tensor(y)) ** 2.0).mean()
+            loss.backward()
+            opt.step()
+            first = first if first is not None else loss.item()
+        assert loss.item() < first * 0.1
+
+
+class TestElmanRNN:
+    def test_output_shape(self):
+        rnn = ElmanRNN(8, 5, num_layers=3, rng=rng)
+        out = rnn(Tensor(rng.normal(size=(7, 8))))
+        assert out.shape == (7, 5)
+
+    def test_hidden_state_carries_information(self):
+        """Changing an early element must change later outputs."""
+        rnn = ElmanRNN(4, 6, num_layers=2, rng=rng)
+        seq = rng.normal(size=(5, 4))
+        base = rnn(Tensor(seq)).numpy()
+        changed = seq.copy()
+        changed[0] += 1.0
+        after = rnn(Tensor(changed)).numpy()
+        assert not np.allclose(base[-1], after[-1])
+
+    def test_step_matches_forward(self):
+        rnn = ElmanRNN(4, 6, num_layers=2, rng=rng)
+        seq = rng.normal(size=(3, 4))
+        full = rnn(Tensor(seq)).numpy()
+        state = rnn.initial_state()
+        outs = []
+        for t in range(3):
+            out, state = rnn.step(Tensor(seq[t : t + 1]), state)
+            outs.append(out.numpy()[0])
+        assert np.allclose(np.stack(outs), full)
+
+    def test_grad_through_time(self):
+        rnn = ElmanRNN(3, 4, num_layers=1, rng=rng)
+        seq = rng.normal(size=(4, 3))
+        check_gradient(lambda t: (rnn(t) ** 2.0).sum(), seq, rtol=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(NNError):
+            ElmanRNN(4, 4, num_layers=0)
+        rnn = ElmanRNN(4, 4)
+        with pytest.raises(NNError):
+            rnn(Tensor(np.zeros((3, 5))))
+        with pytest.raises(NNError):
+            rnn.step(Tensor(np.zeros((1, 4))), [])
+
+
+def tiny_graph():
+    clip = Clip(
+        name="g",
+        bbox=Rect(0, 0, 2000, 2000),
+        targets=(
+            Polygon.from_rect(Rect.square(500, 500, 70)),
+            Polygon.from_rect(Rect.square(1500, 1500, 70)),
+        ),
+        layer="via",
+    )
+    return build_segment_graph(fragment_clip(clip))
+
+
+class TestGraphSAGE:
+    def test_adjacency_row_normalized(self):
+        graph = tiny_graph()
+        adj = mean_adjacency(graph)
+        sums = adj.sum(axis=1)
+        assert np.allclose(sums[sums > 0], 1.0)
+        assert np.all(np.diag(adj) == 0)
+
+    def test_forward_shape(self):
+        graph = tiny_graph()
+        layer = GraphSAGEConv(6, 10, rng=rng)
+        x = Tensor(rng.normal(size=(graph.n_nodes, 6)))
+        out = layer(x, mean_adjacency(graph))
+        assert out.shape == (graph.n_nodes, 10)
+
+    def test_information_fuses_along_edges(self):
+        """Perturbing one node changes its neighbours' embeddings."""
+        graph = tiny_graph()
+        layer = GraphSAGEConv(4, 4, rng=rng)
+        adj = mean_adjacency(graph)
+        x = rng.normal(size=(graph.n_nodes, 4))
+        base = layer(Tensor(x), adj).numpy()
+        x2 = x.copy()
+        x2[0] += 10.0
+        after = layer(Tensor(x2), adj).numpy()
+        neighbor = graph.neighbors[0][0]
+        non_neighbor = 4  # other via's segment: different component
+        assert not np.allclose(base[neighbor], after[neighbor])
+        assert np.allclose(base[non_neighbor], after[non_neighbor])
+
+    def test_grad(self):
+        graph = tiny_graph()
+        layer = GraphSAGEConv(3, 2, rng=rng)
+        adj = mean_adjacency(graph)
+        x = rng.normal(size=(graph.n_nodes, 3))
+        check_gradient(lambda t: (layer(t, adj) ** 2.0).sum(), x, rtol=1e-3)
+
+    def test_validation(self):
+        layer = GraphSAGEConv(3, 2)
+        with pytest.raises(NNError):
+            layer(Tensor(np.zeros((4, 5))), np.zeros((4, 4)))
+        with pytest.raises(NNError):
+            layer(Tensor(np.zeros((4, 3))), np.zeros((5, 5)))
+
+
+class TestOptimizers:
+    def quad_param(self):
+        return Parameter(np.array([5.0, -3.0]))
+
+    def test_sgd_descends(self):
+        p = self.quad_param()
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        assert np.all(np.abs(p.data) < 1e-3)
+
+    def test_sgd_momentum_faster(self):
+        p1, p2 = self.quad_param(), self.quad_param()
+        plain = SGD([p1], lr=0.01)
+        momentum = SGD([p2], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            for p, opt in ((p1, plain), (p2, momentum)):
+                opt.zero_grad()
+                (p * p).sum().backward()
+                opt.step()
+        assert np.abs(p2.data).sum() < np.abs(p1.data).sum()
+
+    def test_adam_descends(self):
+        p = self.quad_param()
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        assert np.all(np.abs(p.data) < 1e-2)
+
+    def test_clip_grad_norm(self):
+        p = Parameter(np.zeros(4))
+        opt = SGD([p], lr=0.1)
+        p.grad = np.full(4, 10.0)
+        norm = opt.clip_grad_norm(1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(NNError):
+            SGD([], lr=0.1)
+        with pytest.raises(NNError):
+            SGD([Parameter(np.zeros(2))], lr=-1)
+        with pytest.raises(NNError):
+            SGD([Parameter(np.zeros(2))], lr=0.1, momentum=1.5)
+
+    def test_step_skips_gradless_params(self):
+        p = Parameter(np.ones(2))
+        opt = Adam([p], lr=0.1)
+        opt.step()  # no grads: must be a no-op
+        assert np.all(p.data == 1.0)

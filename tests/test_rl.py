@@ -1,0 +1,199 @@
+"""Tests for the RL substrate: reward, trajectory, env, REINFORCE, imitation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import RLError
+from repro.data.via_bench import generate_via_clip
+from repro.litho import LithoConfig, LithographySimulator
+from repro.nn.layers import Linear
+from repro.nn.optim import SGD
+from repro.nn.tensor import Tensor
+from repro.rl import (
+    OPCEnvironment,
+    collect_teacher_actions,
+    compute_reward,
+    discounted_returns,
+    greedy_teacher_actions,
+    policy_gradient_step,
+    select_log_probs,
+)
+from repro.rl.trajectory import Trajectory, TrajectoryStep
+
+
+class TestReward:
+    def test_improvement_positive(self):
+        assert compute_reward(100, 50, 1000, 900) > 0
+
+    def test_regression_negative(self):
+        assert compute_reward(50, 100, 1000, 1100) < 0
+
+    def test_paper_formula(self):
+        r = compute_reward(100, 80, 1000, 950, epsilon=0.1, beta=1.0)
+        assert r == pytest.approx((100 - 80) / 100.1 + (1000 - 950) / 1000)
+
+    def test_beta_weighting(self):
+        low = compute_reward(100, 100, 1000, 900, beta=0.5)
+        high = compute_reward(100, 100, 1000, 900, beta=2.0)
+        assert high == pytest.approx(4 * low)
+
+    def test_zero_pvband_drops_term(self):
+        r = compute_reward(100, 50, 0, 100)
+        assert r == pytest.approx(50 / 100.1)
+
+    def test_validation(self):
+        with pytest.raises(RLError):
+            compute_reward(1, 1, 1, 1, epsilon=0)
+        with pytest.raises(RLError):
+            compute_reward(-1, 1, 1, 1)
+
+
+class TestTrajectory:
+    def make(self):
+        traj = Trajectory(epe_initial=100.0)
+        for k, (r, e) in enumerate([(1.0, 80.0), (0.5, 60.0), (-0.2, 65.0)]):
+            traj.append(
+                TrajectoryStep(
+                    actions=np.zeros(4, dtype=int),
+                    reward=r,
+                    epe_after=e,
+                    pvband_after=1000.0 + k,
+                )
+            )
+        return traj
+
+    def test_epe_curve(self):
+        assert self.make().epe_curve == [100.0, 80.0, 60.0, 65.0]
+
+    def test_total_reward(self):
+        assert self.make().total_reward == pytest.approx(1.3)
+
+    def test_returns_discounting(self):
+        returns = self.make().returns(gamma=0.5)
+        assert returns[2] == pytest.approx(-0.2)
+        assert returns[1] == pytest.approx(0.5 + 0.5 * -0.2)
+        assert returns[0] == pytest.approx(1.0 + 0.5 * returns[1])
+
+    def test_discounted_returns_validation(self):
+        with pytest.raises(RLError):
+            discounted_returns([1.0], gamma=1.5)
+
+    @given(
+        rewards=st.lists(
+            st.floats(min_value=-5, max_value=5, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_property_gamma1_is_suffix_sum(self, rewards):
+        returns = discounted_returns(rewards, gamma=1.0)
+        assert returns[0] == pytest.approx(sum(rewards))
+
+
+@pytest.fixture(scope="module")
+def env():
+    simulator = LithographySimulator(
+        LithoConfig(pixel_nm=8.0, period_nm=1024.0, max_kernels=6)
+    )
+    clip = generate_via_clip("rl", n_vias=2, seed=21, clip_nm=1280)
+    return OPCEnvironment(clip, simulator, initial_bias_nm=3.0)
+
+
+class TestEnvironment:
+    def test_reset_state(self, env):
+        state = env.reset()
+        assert state.epe.count == 8  # 2 vias x 4 measure points
+        assert len(state.seg_epe) == env.n_segments == 8
+        assert state.total_epe > 0  # initial mask underprints
+
+    def test_reset_with_bias_override(self, env):
+        lean = env.reset(bias_nm=0.0)
+        fat = env.reset(bias_nm=10.0)
+        assert fat.total_epe != lean.total_epe
+
+    def test_step_moves_and_rewards(self, env):
+        state = env.reset()
+        outward = np.full(env.n_segments, 4)  # all +2 nm
+        next_state, reward = env.step(state, outward)
+        assert np.all(next_state.mask.offsets == state.mask.offsets + 2)
+        assert reward > 0  # growing an underprinting via helps
+
+    def test_noop_step_zero_reward(self, env):
+        state = env.reset()
+        hold = np.full(env.n_segments, 2)  # all 0 nm
+        _, reward = env.step(state, hold)
+        assert reward == pytest.approx(0.0, abs=1e-9)
+
+    def test_action_validation(self, env):
+        state = env.reset()
+        with pytest.raises(RLError):
+            env.step(state, np.zeros(3, dtype=int))
+        with pytest.raises(RLError):
+            env.step(state, np.full(env.n_segments, 9))
+
+
+class TestReinforce:
+    def test_select_log_probs_matches_manual(self):
+        logits = Tensor(np.log(np.array([[0.7, 0.3], [0.2, 0.8]])))
+        log_prob = select_log_probs(logits, np.array([0, 1]))
+        assert log_prob.item() == pytest.approx(np.log(0.7) + np.log(0.8))
+
+    def test_shape_validation(self):
+        with pytest.raises(RLError):
+            select_log_probs(Tensor(np.zeros((2, 5))), np.array([0, 1, 2]))
+
+    def test_positive_reward_increases_action_probability(self):
+        layer = Linear(3, 5, rng=np.random.default_rng(0))
+        optimizer = SGD(layer.parameters(), lr=0.1)
+        x = Tensor(np.ones((1, 3)))
+        actions = np.array([4])
+        before = select_log_probs(layer(x), actions).item()
+        policy_gradient_step(optimizer, select_log_probs(layer(x), actions), 1.0)
+        after = select_log_probs(layer(x), actions).item()
+        assert after > before
+
+    def test_negative_reward_decreases_action_probability(self):
+        layer = Linear(3, 5, rng=np.random.default_rng(0))
+        optimizer = SGD(layer.parameters(), lr=0.1)
+        x = Tensor(np.ones((1, 3)))
+        actions = np.array([4])
+        before = select_log_probs(layer(x), actions).item()
+        policy_gradient_step(optimizer, select_log_probs(layer(x), actions), -1.0)
+        after = select_log_probs(layer(x), actions).item()
+        assert after < before
+
+
+class TestImitation:
+    def test_teacher_sign_convention(self, env):
+        state = env.reset()
+        actions = greedy_teacher_actions(state)
+        # Initial vias underprint (negative EPE) -> teacher moves outward.
+        assert np.all(actions >= 2)
+        assert np.any(actions > 2)
+
+    def test_teacher_deadband_holds(self, env):
+        state = env.reset()
+        fake = type(state)(
+            mask=state.mask,
+            litho=state.litho,
+            epe=state.epe,
+            seg_epe=np.full(env.n_segments, 0.5),
+            pvband=state.pvband,
+        )
+        assert np.all(greedy_teacher_actions(fake) == 2)
+
+    def test_collect_trajectory(self, env):
+        samples = collect_teacher_actions(env, steps=3)
+        assert len(samples) == 3
+        for state, actions, reward in samples:
+            assert actions.shape == (env.n_segments,)
+        # Teacher improves the mask overall.
+        assert samples[0][0].total_epe >= samples[-1][0].total_epe
+
+    def test_collect_validation(self, env):
+        with pytest.raises(RLError):
+            collect_teacher_actions(env, steps=0)
+        with pytest.raises(RLError):
+            greedy_teacher_actions(env.reset(), gain=-1)

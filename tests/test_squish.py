@@ -1,0 +1,246 @@
+"""Tests for squish encoding, adaptive re-gridding and node features."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SquishError
+from repro.geometry import (
+    Clip,
+    MaskState,
+    Polygon,
+    Rect,
+    fragment_clip,
+)
+from repro.squish import (
+    NodeFeatureEncoder,
+    SquishPattern,
+    adaptive_squish_tensor,
+    encode_squish,
+    scanline_positions,
+)
+
+
+WINDOW = Rect(0, 0, 100, 100)
+
+
+def squares(*rects):
+    return [Polygon.from_rect(r) for r in rects]
+
+
+class TestScanlines:
+    def test_window_borders_always_present(self):
+        xs, ys = scanline_positions([], WINDOW)
+        assert xs.tolist() == [0, 100]
+        assert ys.tolist() == [0, 100]
+
+    def test_polygon_edges_add_lines(self):
+        polys = squares(Rect(20, 30, 60, 70))
+        xs, ys = scanline_positions(polys, WINDOW)
+        assert xs.tolist() == [0, 20, 60, 100]
+        assert ys.tolist() == [0, 30, 70, 100]
+
+    def test_outside_edges_ignored(self):
+        polys = squares(Rect(-50, -50, 150, 20))  # only y=20 is inside
+        xs, ys = scanline_positions(polys, WINDOW)
+        assert xs.tolist() == [0, 100]
+        assert ys.tolist() == [0, 20, 100]
+
+    def test_extra_scanlines(self):
+        xs, ys = scanline_positions([], WINDOW, extra_x=[33.0], extra_y=[66.0, 200.0])
+        assert 33.0 in xs.tolist()
+        assert 66.0 in ys.tolist()
+        assert 200.0 not in ys.tolist()
+
+    def test_duplicates_merged(self):
+        polys = squares(Rect(20, 20, 60, 60), Rect(20, 70, 60, 90))
+        xs, _ = scanline_positions(polys, WINDOW)
+        assert xs.tolist() == [0, 20, 60, 100]
+
+
+class TestSquishEncoding:
+    def test_figure3_style_single_rect(self):
+        """One rect in a window: 3x3 matrix with centre cell set."""
+        pattern = encode_squish(squares(Rect(20, 30, 60, 70)), WINDOW)
+        assert pattern.matrix.shape == (3, 3)
+        assert pattern.matrix.tolist() == [[0, 0, 0], [0, 1, 0], [0, 0, 0]]
+        assert pattern.delta_x.tolist() == [20, 40, 40]
+        assert pattern.delta_y.tolist() == [30, 40, 30]
+
+    def test_covered_area_matches_geometry(self):
+        pattern = encode_squish(squares(Rect(20, 30, 60, 70)), WINDOW)
+        assert pattern.covered_area == pytest.approx(40 * 40)
+
+    def test_two_rects(self):
+        pattern = encode_squish(
+            squares(Rect(10, 10, 30, 30), Rect(60, 60, 90, 90)), WINDOW
+        )
+        assert pattern.covered_area == pytest.approx(20 * 20 + 30 * 30)
+
+    def test_empty_window(self):
+        pattern = encode_squish([], WINDOW)
+        assert pattern.matrix.sum() == 0
+        assert pattern.covered_area == 0
+
+    def test_dense_roundtrip(self):
+        pattern = encode_squish(squares(Rect(20, 30, 60, 70)), WINDOW)
+        dense = pattern.to_dense(pixel_nm=10)
+        assert dense.shape == (10, 10)
+        assert dense.sum() * 100 == pytest.approx(1600)
+
+    def test_extra_scanlines_do_not_change_area(self):
+        base = encode_squish(squares(Rect(20, 30, 60, 70)), WINDOW)
+        refined = encode_squish(
+            squares(Rect(20, 30, 60, 70)), WINDOW, extra_x=[40.0], extra_y=[50.0]
+        )
+        assert refined.matrix.shape == (4, 4)
+        assert refined.covered_area == pytest.approx(base.covered_area)
+
+    def test_pattern_validation(self):
+        with pytest.raises(SquishError):
+            SquishPattern(
+                matrix=np.zeros((2, 2), dtype=np.uint8),
+                delta_x=np.ones(3),
+                delta_y=np.ones(2),
+                origin=(0, 0),
+            )
+
+    def test_width_height(self):
+        pattern = encode_squish(squares(Rect(20, 30, 60, 70)), WINDOW)
+        assert pattern.width == 100
+        assert pattern.height == 100
+
+
+class TestAdaptive:
+    def pattern(self):
+        return encode_squish(squares(Rect(20, 30, 60, 70)), WINDOW)
+
+    def test_output_shape(self):
+        tensor = adaptive_squish_tensor(self.pattern(), 16, 16)
+        assert tensor.shape == (3, 16, 16)
+
+    def test_occupancy_area_preserved_by_splitting(self):
+        tensor = adaptive_squish_tensor(self.pattern(), 16, 16)
+        occ, dx, dy = tensor
+        # Spacing channels are log1p of uniform-cell units: invert with
+        # expm1, then cell width in nm is rel * (W / out_x).
+        rel_x = np.expm1(dx)
+        rel_y = np.expm1(dy)
+        area = float((occ * rel_x * rel_y).sum()) * (100 / 16) * (100 / 16)
+        assert area == pytest.approx(1600)
+
+    def test_spacing_channels_uniform_relative(self):
+        tensor = adaptive_squish_tensor(self.pattern(), 16, 16)
+        # Each row of decoded widths sums to out_x in uniform-cell units.
+        assert np.expm1(tensor[1]).sum(axis=1).max() == pytest.approx(16.0)
+        assert np.expm1(tensor[2]).sum(axis=0).max() == pytest.approx(16.0)
+
+    def test_merge_path(self):
+        """More scanlines than the target shape forces merging."""
+        rects = [Rect(5 + 10 * i, 5, 12 + 10 * i, 95) for i in range(9)]
+        pattern = encode_squish(squares(*rects), WINDOW)
+        assert pattern.matrix.shape[1] > 8
+        tensor = adaptive_squish_tensor(pattern, 8, 8)
+        assert tensor.shape == (3, 8, 8)
+        assert tensor[0].sum() > 0  # geometry still visible after merging
+
+    def test_too_small_output_rejected(self):
+        with pytest.raises(SquishError):
+            adaptive_squish_tensor(self.pattern(), 1, 16)
+
+
+def via_state():
+    clip = Clip(
+        name="f",
+        bbox=Rect(0, 0, 2000, 2000),
+        targets=(
+            Polygon.from_rect(Rect.square(500, 500, 70)),
+            Polygon.from_rect(Rect.square(700, 500, 70)),
+        ),
+        layer="via",
+    )
+    segments = fragment_clip(clip)
+    return MaskState.initial(clip, segments, bias_nm=3.0)
+
+
+class TestNodeFeatures:
+    def test_camo_six_channels(self):
+        state = via_state()
+        encoder = NodeFeatureEncoder(window_nm=500, out_size=32, channels=6)
+        tensor = encoder.encode_segment(state, state.segments[0])
+        assert tensor.shape == (6, 32, 32)
+
+    def test_rlopc_three_channels(self):
+        state = via_state()
+        encoder = NodeFeatureEncoder(window_nm=500, out_size=32, channels=3)
+        assert encoder.encode_segment(state, state.segments[0]).shape == (3, 32, 32)
+
+    def test_encode_all_shape(self):
+        state = via_state()
+        encoder = NodeFeatureEncoder(window_nm=500, out_size=16, channels=6)
+        feats = encoder.encode_all(state)
+        assert feats.shape == (8, 6, 16, 16)
+
+    def test_features_respond_to_mask_movement(self):
+        state = via_state()
+        encoder = NodeFeatureEncoder(window_nm=500, out_size=32, channels=6)
+        before = encoder.encode_segment(state, state.segments[0])
+        moved = state.moved(np.full(8, 4.0))
+        after = encoder.encode_segment(moved, moved.segments[0])
+        assert not np.allclose(before, after)
+
+    def test_highlight_channels_differ_from_mask_channels(self):
+        """With a moved mask, the target-edge scanlines must produce a
+        different grid from the plain mask encoding."""
+        state = via_state().moved(np.full(8, 4.0))
+        encoder = NodeFeatureEncoder(window_nm=500, out_size=32, channels=6)
+        tensor = encoder.encode_segment(state, state.segments[0])
+        assert not np.allclose(tensor[:3], tensor[3:])
+
+    def test_neighbor_via_visible_in_window(self):
+        state = via_state()
+        wide = NodeFeatureEncoder(window_nm=500, out_size=32, channels=3)
+        narrow = NodeFeatureEncoder(window_nm=120, out_size=32, channels=3)
+        # Segment 0 belongs to the via at (500, 500); the neighbour sits
+        # 200 nm away so only the wide window sees both patterns.
+        wide_occupied = wide.encode_segment(state, state.segments[0])[0].sum()
+        narrow_occupied = narrow.encode_segment(state, state.segments[0])[0].sum()
+        assert wide_occupied != narrow_occupied
+
+    def test_validation(self):
+        with pytest.raises(SquishError):
+            NodeFeatureEncoder(window_nm=-1)
+        with pytest.raises(SquishError):
+            NodeFeatureEncoder(out_size=2)
+        with pytest.raises(SquishError):
+            NodeFeatureEncoder(channels=4)
+
+
+@given(
+    x0=st.integers(min_value=1, max_value=40),
+    y0=st.integers(min_value=1, max_value=40),
+    w=st.integers(min_value=5, max_value=50),
+    h=st.integers(min_value=5, max_value=50),
+)
+def test_property_squish_area_exact(x0, y0, w, h):
+    """Squish encoding is lossless for any rect inside the window."""
+    rect = Rect(x0, y0, min(x0 + w, 99), min(y0 + h, 99))
+    pattern = encode_squish([Polygon.from_rect(rect)], WINDOW)
+    assert pattern.covered_area == pytest.approx(rect.area)
+
+
+@given(
+    out=st.integers(min_value=4, max_value=48),
+    x0=st.integers(min_value=1, max_value=40),
+    w=st.integers(min_value=5, max_value=50),
+)
+def test_property_adaptive_split_preserves_area(out, x0, w):
+    rect = Rect(x0, 20, min(x0 + w, 99), 70)
+    pattern = encode_squish([Polygon.from_rect(rect)], WINDOW)
+    if pattern.matrix.shape[0] > out or pattern.matrix.shape[1] > out:
+        return  # merging is lossy by design; only splitting is exact
+    tensor = adaptive_squish_tensor(pattern, out, out)
+    occ, dx, dy = tensor
+    area = float((occ * np.expm1(dx) * np.expm1(dy)).sum()) * (100 / out) * (100 / out)
+    assert area == pytest.approx(rect.area, rel=1e-9)
