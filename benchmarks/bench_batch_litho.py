@@ -1,0 +1,147 @@
+"""Microbenchmark: batched lithography engine vs the per-mask loop.
+
+Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_batch_litho.py          # full
+    PYTHONPATH=src python benchmarks/bench_batch_litho.py --smoke  # CI
+
+Three pipelines are timed on the same B=8 stack of masks and verified
+against each other before any number is reported:
+
+* ``sequential``      — B calls of ``simulate_mask`` (the reference);
+* ``batch (exact)``   — one ``simulate_batch`` call, bit-for-bit equal to
+  sequential.  Its FLOPs are identical, so on a single core its speedup
+  is bounded by call-overhead amortization and the shared forward FFT
+  (~1.1-1.4x); on multi-core BLAS/FFT builds the batched transforms
+  parallelize and the gap widens.
+* ``batch (spectral)``— one screening-mode ``simulate_batch`` call: the
+  per-kernel inverse FFTs run on the pupil-band subgrid, which cuts the
+  transform work by ~4x at production resolution.  This is the >= 3x
+  headline path; its ~1e-3 intensity error is measured and printed.
+
+The script exits non-zero if parity fails or the spectral speedup falls
+below the 3x acceptance threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.geometry.raster import Grid, rasterize
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+from repro.litho.simulator import LithoConfig, LithographySimulator
+
+BATCH = 8
+SPEEDUP_THRESHOLD = 3.0
+SPECTRAL_TOLERANCE = 5e-3
+
+
+def build_masks(grid: Grid, count: int) -> list[np.ndarray]:
+    """`count` distinct multi-via masks spread over the window."""
+    rng = np.random.default_rng(99)
+    window = grid.rows * grid.pixel_nm
+    masks = []
+    for _ in range(count):
+        polys = []
+        for _ in range(3):
+            cx = float(rng.integers(400, int(window) - 400))
+            cy = float(rng.integers(400, int(window) - 400))
+            size = float(rng.integers(60, 120))
+            polys.append(Polygon.from_rect(Rect.square(cx, cy, size)))
+        masks.append(rasterize(polys, grid))
+    return masks
+
+
+def best_of(fn, repeats: int) -> float:
+    fn()  # warm caches (kernel FFTs, spectral plans)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run(smoke: bool, min_speedup: float = SPEEDUP_THRESHOLD) -> int:
+    if smoke:
+        config = LithoConfig(pixel_nm=4.0, max_kernels=6)
+        window_nm, repeats = 1024.0, 3
+    else:
+        config = LithoConfig(pixel_nm=4.0, max_kernels=8)
+        window_nm, repeats = 1280.0, 5
+
+    simulator = LithographySimulator(config)
+    n = int(window_nm / config.pixel_nm)
+    grid = Grid(0.0, 0.0, config.pixel_nm, n, n)
+    masks = build_masks(grid, BATCH)
+    stack = np.stack(masks)
+    kernel_count = simulator.kernel_set(0.0).count
+    plan = simulator.spectral_convolver(0.0).plan(grid.shape)
+
+    print(f"bench_batch_litho: grid {n}x{n} @ {config.pixel_nm} nm, "
+          f"K={kernel_count} kernels/corner, B={BATCH}, "
+          f"spectral band {plan.band} on subgrid {plan.subgrid}")
+
+    # -- correctness gates before any timing ------------------------------
+    sequential = [simulator.simulate_mask(m, grid) for m in masks]
+    exact = simulator.simulate_batch(stack, grid)
+    for single, batched in zip(sequential, exact):
+        if not (np.array_equal(single.aerial, batched.aerial)
+                and np.array_equal(single.aerial_defocus,
+                                   batched.aerial_defocus)):
+            print("FAIL: exact batch is not bit-for-bit equal to sequential")
+            return 1
+    screened = simulator.simulate_batch(stack, grid, mode="spectral")
+    spectral_error = max(
+        np.abs(s.aerial - e.aerial).max() for s, e in zip(screened, sequential)
+    )
+    if spectral_error > SPECTRAL_TOLERANCE:
+        print(f"FAIL: spectral error {spectral_error:.2e} > {SPECTRAL_TOLERANCE}")
+        return 1
+
+    # -- timing ------------------------------------------------------------
+    t_seq = best_of(
+        lambda: [simulator.simulate_mask(m, grid) for m in masks], repeats
+    )
+    t_exact = best_of(lambda: simulator.simulate_batch(stack, grid), repeats)
+    t_spectral = best_of(
+        lambda: simulator.simulate_batch(stack, grid, mode="spectral"), repeats
+    )
+
+    per_mask = t_seq / BATCH
+    print(f"  sequential simulate_mask : {t_seq * 1e3:8.1f} ms "
+          f"({per_mask * 1e3:.1f} ms/mask)  [baseline]")
+    print(f"  simulate_batch (exact)   : {t_exact * 1e3:8.1f} ms "
+          f"-> {t_seq / t_exact:4.2f}x  (bit-for-bit identical)")
+    print(f"  simulate_batch (spectral): {t_spectral * 1e3:8.1f} ms "
+          f"-> {t_seq / t_spectral:4.2f}x  "
+          f"(max |dI| = {spectral_error:.1e}, screening only)")
+
+    speedup = t_seq / t_spectral
+    if speedup < min_speedup:
+        print(f"FAIL: spectral batch speedup {speedup:.2f}x < "
+              f"{min_speedup}x threshold")
+        return 1
+    print(f"PASS: batched engine reaches {speedup:.2f}x >= "
+          f"{min_speedup}x over the per-mask loop at B={BATCH}")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny-grid CI mode (seconds, not minutes)")
+    parser.add_argument("--min-speedup", type=float, default=SPEEDUP_THRESHOLD,
+                        help="fail below this spectral speedup (use a looser "
+                             "value on noisy shared CI runners)")
+    args = parser.parse_args()
+    return run(smoke=args.smoke, min_speedup=args.min_speedup)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,10 @@ expression is a fixed pipeline).
 This is *not* part of the paper's comparison tables; it is the classic
 numerical-optimization alternative (refs [5, 6] in the paper) and powers
 an extension bench contrasting edge-based and pixel-based OPC.
+
+Per-iteration coherent fields come from the kernel set's batched helpers
+(:meth:`~repro.litho.kernels.OpticalKernelSet.fields_from_mask_fft`), and
+the final corner sweep runs through the batched simulator path.
 """
 
 from __future__ import annotations
@@ -68,14 +72,14 @@ class PixelILT:
         # Logit field initialized from the target with a positive bias so
         # target pixels start transparent.
         field = cfg.initial_bias_logit * (2.0 * target - 1.0)
-        kernel_ffts = kernel_set._kernel_ffts(target.shape)
+        kernel_ffts = kernel_set.kernel_spectra(target.shape)
         weights = kernel_set.weights
 
         trajectory: Trajectory | None = None
         for _ in range(cfg.iterations):
             mask = _sigmoid(cfg.mask_steepness * field)
             mask_fft = np.fft.fft2(mask)
-            fields_k = [np.fft.ifft2(mask_fft * kf) for kf in kernel_ffts]
+            fields_k = kernel_set.fields_from_mask_fft(mask_fft)
             intensity = np.zeros_like(mask)
             for w, ck in zip(weights, fields_k):
                 intensity += w * (ck.real**2 + ck.imag**2)
@@ -105,7 +109,7 @@ class PixelILT:
             )
 
         final_mask = (_sigmoid(cfg.mask_steepness * field) >= 0.5).astype(np.uint8)
-        result = self.simulator.simulate_mask(final_mask, grid)
+        result = self.simulator.simulate_batch(final_mask[None], grid)[0]
         epe = measure_epe(result.aerial, grid, segments, threshold)
         pvb = pvband_area(result.inner, result.outer, grid.pixel_nm)
         runtime = time.perf_counter() - start

@@ -6,6 +6,11 @@ convergence or the iteration budget runs out.  This module implements that
 loop on our substrate.  It doubles as the phase-1 imitation teacher (its
 per-step decision rule is :func:`repro.rl.imitation.greedy_teacher_actions`
 restricted to the +/-2 nm move set).
+
+Each iteration's corner sweep runs through the environment's simulator
+facade, which computes the focus and defocus aerials from one shared
+forward FFT (the batched-corner path of
+:meth:`~repro.litho.simulator.LithographySimulator.simulate_batch`).
 """
 
 from __future__ import annotations
@@ -15,12 +20,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.constants import MOVE_SET_NM
 from repro.core.agent import OptimizeResult
 from repro.errors import ConfigError
 from repro.geometry.layout import Clip
 from repro.litho.simulator import LithographySimulator
 from repro.rl.env import OPCEnvironment
+from repro.rl.imitation import quantize_to_move_set
 from repro.rl.trajectory import Trajectory, TrajectoryStep
 
 
@@ -110,10 +115,7 @@ class MBOPC:
             self.config.max_step_nm,
         )
         moves[np.abs(seg_epe) < self.config.deadband_nm] = 0.0
-        move_set = np.asarray(MOVE_SET_NM, dtype=np.float64)
-        return np.asarray(
-            [int(np.argmin(np.abs(move_set - m))) for m in moves]
-        )
+        return quantize_to_move_set(moves)
 
     def _early_exit(self, clip: Clip, state) -> bool:
         if self.config.early_exit_mode == "per_target":

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.constants import MOVE_SET_NM
 from repro.core.config import CamoConfig
 from repro.core.modulator import Modulator
 from repro.core.policy import CamoPolicy
@@ -299,7 +300,30 @@ class CAMO:
                 logits = self._logits(ctx, state)
             distribution = self._decision_distribution(ctx, state, logits, steps)
             actions = distribution.argmax(axis=1)
-            state, reward = ctx.env.step(state, actions)
+            if self.config.candidate_lookahead:
+                # Score the policy's move against the five uniform moves in
+                # ONE batched litho call and keep the best-reward candidate.
+                # Duplicate rows are scored once, and the all-hold candidate
+                # is a free no-op: its next state is the current one and its
+                # reward exactly 0, so it never needs a simulation.
+                hold_row = np.full(
+                    ctx.env.n_segments, MOVE_SET_NM.index(0), dtype=np.int64
+                )
+                seen = {hold_row.tobytes()}
+                rows = []
+                for row in (actions, *ctx.env.uniform_move_candidates()):
+                    key = row.tobytes()
+                    if key not in seen:
+                        seen.add(key)
+                        rows.append(row)
+                scored = ctx.env.score_moves(state, np.stack(rows))
+                # Hold goes last so reward ties keep the policy's move.
+                options = [
+                    (row, nxt, rew) for row, (nxt, rew) in zip(rows, scored)
+                ] + [(hold_row, state, 0.0)]
+                actions, state, reward = max(options, key=lambda o: o[2])
+            else:
+                state, reward = ctx.env.step(state, actions)
             steps += 1
             trajectory.append(
                 TrajectoryStep(

@@ -250,11 +250,17 @@ def table1(scale: str | Scale | None = None) -> tuple[str, dict]:
     """Via-layer comparison (paper Table 1)."""
     bundle = trained_via_engines(scale)
     test_clips = bundle["test_clips"]
+    # Batched re-simulation cross-checks every reported EPE (runner docs).
+    verify = bundle["simulator"]
     results = [
-        run_engine_on_suite(bundle["damo"], test_clips, "DAMO-like"),
-        run_engine_on_suite(bundle["mbopc"], test_clips, "Calibre-like"),
-        run_engine_on_suite(bundle["rlopc"], test_clips, "RL-OPC"),
-        run_engine_on_suite(bundle["camo"], test_clips, "CAMO"),
+        run_engine_on_suite(bundle["damo"], test_clips, "DAMO-like",
+                            verify_simulator=verify),
+        run_engine_on_suite(bundle["mbopc"], test_clips, "Calibre-like",
+                            verify_simulator=verify),
+        run_engine_on_suite(bundle["rlopc"], test_clips, "RL-OPC",
+                            verify_simulator=verify),
+        run_engine_on_suite(bundle["camo"], test_clips, "CAMO",
+                            verify_simulator=verify),
     ]
     counts = {
         clip.name: count for clip, count in zip(test_clips, VIA_TEST_COUNTS)
@@ -272,10 +278,14 @@ def table2(scale: str | Scale | None = None) -> tuple[str, dict]:
     """Metal-layer comparison (paper Table 2)."""
     bundle = trained_metal_engines(scale)
     test_clips = bundle["test_clips"]
+    verify = bundle["simulator"]
     results = [
-        run_engine_on_suite(bundle["mbopc"], test_clips, "Calibre-like"),
-        run_engine_on_suite(bundle["rlopc"], test_clips, "RL-OPC"),
-        run_engine_on_suite(bundle["camo"], test_clips, "CAMO"),
+        run_engine_on_suite(bundle["mbopc"], test_clips, "Calibre-like",
+                            verify_simulator=verify),
+        run_engine_on_suite(bundle["rlopc"], test_clips, "RL-OPC",
+                            verify_simulator=verify),
+        run_engine_on_suite(bundle["camo"], test_clips, "CAMO",
+                            verify_simulator=verify),
     ]
     counts = {
         clip.name: points

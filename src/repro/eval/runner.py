@@ -1,11 +1,30 @@
-"""Run an OPC engine over a benchmark suite, collecting table rows."""
+"""Run an OPC engine over a benchmark suite, collecting table rows.
+
+With a ``verify_simulator`` the runner additionally re-simulates every
+engine's final mask through the batched lithography engine
+(:meth:`~repro.litho.simulator.LithographySimulator.simulate_batch`,
+grouped by grid shape so a whole suite becomes a handful of batched
+calls) and checks that the re-measured EPE matches what the engine
+reported.  Because the batched path is bit-for-bit identical to the
+single-mask path, any divergence means an engine mis-reported its own
+result — a cheap end-to-end invariant over the whole stack.
+"""
 
 from __future__ import annotations
 
 from typing import Protocol
 
+import numpy as np
+
+from repro.errors import MetrologyError
 from repro.eval.metrics import EngineRow, SuiteResult
 from repro.geometry.layout import Clip
+from repro.geometry.raster import Grid, rasterize
+from repro.geometry.segmentation import fragment_clip
+from repro.litho.simulator import LithographySimulator
+from repro.metrology.epe import measure_epe
+
+_VERIFY_TOLERANCE_NM = 1e-6
 
 
 class OPCEngine(Protocol):
@@ -16,16 +35,77 @@ class OPCEngine(Protocol):
     def optimize(self, clip: Clip, **kwargs): ...
 
 
+def final_mask_image(outcome, grid: Grid) -> np.ndarray | None:
+    """Rasterized final mask of an optimization outcome, if recoverable.
+
+    Edge-based engines carry a ``final_state`` (a mask state rebuilt into
+    polygons); pixel engines carry a ``mask_image`` directly.
+    """
+    state = getattr(outcome, "final_state", None)
+    if state is not None:
+        return rasterize(state.mask.mask_polygons(), grid)
+    image = getattr(outcome, "mask_image", None)
+    if image is not None:
+        return np.asarray(image, dtype=np.float64)
+    return None
+
+
+def batch_verify_epe(
+    simulator: LithographySimulator,
+    clips: list[Clip],
+    outcomes: list,
+    epe_search_nm: float = 40.0,
+) -> dict[str, float]:
+    """Re-measure every outcome's EPE through the batched litho engine.
+
+    Clips are grouped by grid shape so each group is one
+    ``simulate_batch`` call.  Returns ``{clip_name: epe_nm}`` for every
+    outcome whose final mask could be recovered.
+    """
+    groups: dict[tuple[int, int], list[tuple[Clip, np.ndarray]]] = {}
+    for clip, outcome in zip(clips, outcomes):
+        grid = simulator.grid_for(clip)
+        image = final_mask_image(outcome, grid)
+        if image is None:
+            continue
+        groups.setdefault(grid.shape, []).append((clip, image))
+
+    measured: dict[str, float] = {}
+    threshold = simulator.config.threshold
+    for members in groups.values():
+        grids = [simulator.grid_for(clip) for clip, _ in members]
+        stack = np.stack([image for _, image in members])
+        results = simulator.simulate_batch(stack, grids[0], mode="exact")
+        for (clip, _), grid, litho in zip(members, grids, results):
+            epe = measure_epe(
+                litho.aerial,
+                grid,
+                fragment_clip(clip),
+                threshold,
+                search_nm=epe_search_nm,
+            )
+            measured[clip.name] = epe.total_abs
+    return measured
+
+
 def run_engine_on_suite(
     engine: OPCEngine,
     clips: list[Clip],
     engine_name: str,
+    verify_simulator: LithographySimulator | None = None,
     **optimize_kwargs,
 ) -> SuiteResult:
-    """Optimize every clip and collect (EPE, PVB, RT) rows."""
+    """Optimize every clip and collect (EPE, PVB, RT) rows.
+
+    ``verify_simulator`` enables the batched re-simulation cross-check
+    described in the module docstring.
+    """
     result = SuiteResult(engine=engine_name)
+    outcomes = []
     for clip in clips:
         outcome = engine.optimize(clip, **optimize_kwargs)
+        if verify_simulator is not None:
+            outcomes.append(outcome)
         result.add(
             EngineRow(
                 clip_name=clip.name,
@@ -36,4 +116,24 @@ def run_engine_on_suite(
                 early_exited=outcome.early_exited,
             )
         )
+    if verify_simulator is not None:
+        # Re-measure with the engine's own contour-search range (engines
+        # without the knob use the shared 40 nm default), otherwise a
+        # correctly-reporting engine would be flagged as drifting.
+        search_nm = float(
+            getattr(getattr(engine, "config", None), "epe_search_nm", 40.0)
+        )
+        measured = batch_verify_epe(
+            verify_simulator, clips, outcomes, epe_search_nm=search_nm
+        )
+        for row in result.rows:
+            if row.clip_name not in measured:
+                continue
+            drift = abs(measured[row.clip_name] - row.epe_nm)
+            if drift > _VERIFY_TOLERANCE_NM:
+                raise MetrologyError(
+                    f"{engine_name} reported EPE {row.epe_nm:.6f} nm on "
+                    f"{row.clip_name} but batched re-simulation measured "
+                    f"{measured[row.clip_name]:.6f} nm (drift {drift:.2e})"
+                )
     return result

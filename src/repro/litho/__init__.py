@@ -14,6 +14,7 @@ from repro.litho.source import SourceSpec, source_weights
 from repro.litho.pupil import pupil_function
 from repro.litho.tcc import build_tcc, socs_kernels
 from repro.litho.kernels import OpticalKernelSet, build_kernel_set
+from repro.litho.spectral import SpectralConvolver
 from repro.litho.imaging import aerial_image
 from repro.litho.resist import printed_image
 from repro.litho.process import ProcessCorner, nominal_corner, standard_corners
@@ -27,6 +28,7 @@ __all__ = [
     "socs_kernels",
     "OpticalKernelSet",
     "build_kernel_set",
+    "SpectralConvolver",
     "aerial_image",
     "printed_image",
     "ProcessCorner",

@@ -3,12 +3,30 @@
 A :class:`OpticalKernelSet` owns the spatial kernels for one process
 condition (focus setting), normalized so that an open-frame (all-clear)
 mask images to intensity exactly 1.0.  Kernel FFTs are cached per mask
-shape so repeated simulations during OPC iterations cost one mask FFT plus
-one inverse FFT per kernel.
+shape (bounded LRU, shared by the single-mask and batched paths) so
+repeated simulations during OPC iterations cost one mask FFT plus one
+inverse FFT per kernel.
+
+Two convolution entry points are exposed:
+
+* :meth:`OpticalKernelSet.convolve_intensity` — the single-mask reference
+  path, unchanged semantics;
+* :meth:`OpticalKernelSet.convolve_intensity_batch` — ``(B, H, W)`` mask
+  stacks through one vectorized ``np.fft.fft2``/``ifft2`` per kernel.
+  The per-kernel accumulation order matches the reference path exactly,
+  so batched results are bit-for-bit identical to per-mask results.
+
+Lower-level spectrum helpers (:meth:`~OpticalKernelSet.kernel_spectra`,
+:meth:`~OpticalKernelSet.fields_from_mask_fft`,
+:meth:`~OpticalKernelSet.intensity_from_mask_ffts`) let callers that
+already hold mask spectra — the simulator's shared-forward corner sweep,
+the pixel-ILT gradient loop — reuse the cached kernel FFTs without
+recomputing forward transforms.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from functools import lru_cache
 
@@ -29,14 +47,23 @@ class OpticalKernelSet:
         kernels: ``(K, c, c)`` complex spatial kernels, centre at ``c // 2``.
         pixel_nm: Raster pitch the kernels are sampled at.
         defocus_nm: Focus condition these kernels represent.
+        cutoff_per_nm: Coherent spatial-frequency cutoff of the imaging
+            system, ``(1 + sigma_out) * NA / lambda`` in cycles/nm, or
+            ``None`` for kernel sets loaded from legacy files.  Consumed
+            by the band-limited screening engine
+            (:mod:`repro.litho.spectral`).
+        fft_cache_capacity: Maximum number of distinct grid shapes whose
+            kernel FFTs are kept resident (least-recently-used eviction).
     """
 
     weights: np.ndarray
     kernels: np.ndarray
     pixel_nm: float
     defocus_nm: float
-    _fft_cache: dict[tuple[int, int], np.ndarray] = field(
-        default_factory=dict, repr=False
+    cutoff_per_nm: float | None = None
+    fft_cache_capacity: int = 6
+    _fft_cache: "OrderedDict[tuple[int, int], np.ndarray]" = field(
+        default_factory=OrderedDict, repr=False
     )
 
     def __post_init__(self) -> None:
@@ -44,6 +71,10 @@ class OpticalKernelSet:
             raise LithoError(f"bad kernel array shape {self.kernels.shape}")
         if len(self.weights) != len(self.kernels):
             raise LithoError("weights / kernels length mismatch")
+        if self.fft_cache_capacity < 1:
+            raise LithoError(
+                f"fft_cache_capacity must be >= 1, got {self.fft_cache_capacity}"
+            )
 
     @property
     def count(self) -> int:
@@ -73,40 +104,126 @@ class OpticalKernelSet:
             intensity += weight * (field_k.real**2 + field_k.imag**2)
         return intensity
 
+    def validate_mask_batch(self, masks: np.ndarray) -> np.ndarray:
+        """Check and coerce a ``(B, H, W)`` stack of rasterized masks."""
+        stack = np.asarray(masks)
+        if stack.ndim != 3:
+            raise LithoError(
+                f"mask batch must be 3-D (B, H, W), got shape {stack.shape}"
+            )
+        if stack.shape[0] == 0:
+            raise LithoError("mask batch is empty")
+        if min(stack.shape[1:]) < self.ambit_px:
+            raise LithoError(
+                f"batch masks {stack.shape[1:]} smaller than kernel ambit "
+                f"{self.ambit_px}"
+            )
+        return stack.astype(np.float64, copy=False)
+
+    def convolve_intensity_batch(self, masks: np.ndarray) -> np.ndarray:
+        """Aerial intensities of a ``(B, H, W)`` mask stack in one sweep.
+
+        One vectorized forward FFT over the batch axis plus one batched
+        inverse FFT per kernel; bit-for-bit identical to calling
+        :meth:`convolve_intensity` on each mask (same transform algorithm
+        and the same per-kernel accumulation order).
+        """
+        stack = self.validate_mask_batch(masks)
+        mask_ffts = np.fft.fft2(stack, axes=(-2, -1))
+        return self.intensity_from_mask_ffts(mask_ffts)
+
+    def intensity_from_mask_ffts(self, mask_ffts: np.ndarray) -> np.ndarray:
+        """Intensities from precomputed ``(B, H, W)`` mask spectra.
+
+        Lets callers share one forward FFT across several kernel sets
+        (the simulator's focus + defocus corner sweep): ``fft2`` of the
+        same mask is deterministic, so sharing it preserves bit-for-bit
+        equality with the single-mask path.
+        """
+        if mask_ffts.ndim != 3:
+            raise LithoError(
+                f"mask spectra must be 3-D (B, H, W), got shape {mask_ffts.shape}"
+            )
+        kernel_ffts = self.kernel_spectra(mask_ffts.shape[-2:])
+        intensity = np.zeros(mask_ffts.shape, dtype=np.float64)
+        # Per-mask inner loop: 2-D transforms on contiguous slices are
+        # faster than one (B, H, W) batched transform on a single core
+        # (smaller working set) and bit-for-bit identical to it.
+        for mask_fft, out in zip(mask_ffts, intensity):
+            for weight, kernel_fft in zip(self.weights, kernel_ffts):
+                field_k = np.fft.ifft2(mask_fft * kernel_fft)
+                term = field_k.real**2
+                term += field_k.imag**2
+                term *= weight
+                out += term
+        return intensity
+
+    def fields_from_mask_fft(self, mask_fft: np.ndarray) -> np.ndarray:
+        """Per-kernel coherent fields ``(K, H, W)`` for one mask spectrum.
+
+        Used by gradient-based optimizers (pixel ILT) that need the
+        fields themselves, not just the summed intensity.
+        """
+        if mask_fft.ndim != 2:
+            raise LithoError(
+                f"mask spectrum must be 2-D, got shape {mask_fft.shape}"
+            )
+        kernel_ffts = self.kernel_spectra(mask_fft.shape)
+        return np.fft.ifft2(mask_fft[None] * kernel_ffts, axes=(-2, -1))
+
+    def kernel_spectra(self, shape: tuple[int, int]) -> np.ndarray:
+        """Cached ``(K, H, W)`` kernel FFTs for a grid shape (read-only)."""
+        if len(shape) != 2 or min(shape) < self.ambit_px:
+            raise LithoError(
+                f"grid {shape} cannot hold kernels with ambit {self.ambit_px}"
+            )
+        return self._kernel_ffts((int(shape[0]), int(shape[1])))
+
     def _kernel_ffts(self, shape: tuple[int, int]) -> np.ndarray:
         cached = self._fft_cache.get(shape)
-        if cached is None:
-            c = self.ambit_px
-            half = c // 2
-            stack = np.empty((self.count, *shape), dtype=np.complex128)
-            for k in range(self.count):
-                padded = np.zeros(shape, dtype=np.complex128)
-                padded[:c, :c] = self.kernels[k]
-                # Centre the kernel on pixel (0, 0) for circular convolution.
-                padded = np.roll(padded, (-half, -half), axis=(0, 1))
-                stack[k] = np.fft.fft2(padded)
-            self._fft_cache[shape] = stack
-            cached = stack
-        return cached
+        if cached is not None:
+            self._fft_cache.move_to_end(shape)
+            return cached
+        c = self.ambit_px
+        half = c // 2
+        stack = np.empty((self.count, *shape), dtype=np.complex128)
+        for k in range(self.count):
+            padded = np.zeros(shape, dtype=np.complex128)
+            padded[:c, :c] = self.kernels[k]
+            # Centre the kernel on pixel (0, 0) for circular convolution.
+            padded = np.roll(padded, (-half, -half), axis=(0, 1))
+            stack[k] = np.fft.fft2(padded)
+        self._fft_cache[shape] = stack
+        while len(self._fft_cache) > self.fft_cache_capacity:
+            self._fft_cache.popitem(last=False)
+        return stack
 
     # -- persistence --------------------------------------------------------
     def save(self, path: str) -> None:
+        extras = {}
+        if self.cutoff_per_nm is not None:
+            extras["cutoff_per_nm"] = self.cutoff_per_nm
         np.savez_compressed(
             path,
             weights=self.weights,
             kernels=self.kernels,
             pixel_nm=self.pixel_nm,
             defocus_nm=self.defocus_nm,
+            **extras,
         )
 
     @classmethod
     def load(cls, path: str) -> "OpticalKernelSet":
         data = np.load(path)
+        cutoff = (
+            float(data["cutoff_per_nm"]) if "cutoff_per_nm" in data else None
+        )
         return cls(
             weights=data["weights"],
             kernels=data["kernels"],
             pixel_nm=float(data["pixel_nm"]),
             defocus_nm=float(data["defocus_nm"]),
+            cutoff_per_nm=cutoff,
         )
 
 
@@ -156,4 +273,6 @@ def build_kernel_set(
         kernels=kernels,
         pixel_nm=pixel_nm,
         defocus_nm=defocus_nm,
+        cutoff_per_nm=(1.0 + source.sigma_out) * numerical_aperture
+        / wavelength_nm,
     )

@@ -5,11 +5,18 @@ materialized as a :class:`~repro.geometry.mask_edit.MaskState` together
 with its lithography evaluation.  An action moves every segment by one of
 {-2, -1, 0, +1, +2} nm; the environment re-simulates and returns the Eq. 3
 reward.
+
+Candidate-action batching: :meth:`OPCEnvironment.score_moves` evaluates a
+whole matrix of candidate action vectors — e.g. the five uniform segment
+moves from :meth:`OPCEnvironment.uniform_move_candidates` — through one
+batched lithography call (:meth:`LithographySimulator.simulate_batch`)
+instead of one simulator invocation per candidate.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -22,7 +29,7 @@ from repro.constants import (
 from repro.errors import RLError
 from repro.geometry.layout import Clip
 from repro.geometry.mask_edit import MaskState
-from repro.geometry.raster import Grid
+from repro.geometry.raster import Grid, rasterize
 from repro.geometry.segmentation import Segment, fragment_clip
 from repro.litho.simulator import LithographySimulator, LithoResult
 from repro.metrology.epe import EPEReport, measure_epe, segment_epe
@@ -81,9 +88,8 @@ class OPCEnvironment:
         return len(MOVE_SET_NM)
 
     # -- state construction -----------------------------------------------------
-    def evaluate(self, mask: MaskState) -> EnvState:
-        """Run lithography + metrology for a mask state."""
-        litho = self.simulator.simulate_state(mask, self.grid)
+    def _metrology(self, mask: MaskState, litho: LithoResult) -> EnvState:
+        """EPE / PV-band measurement shared by all evaluation paths."""
         threshold = self.simulator.config.threshold
         epe = measure_epe(
             litho.aerial, self.grid, self.segments, threshold,
@@ -95,6 +101,29 @@ class OPCEnvironment:
         )
         pvb = pvband_area(litho.inner, litho.outer, self.grid.pixel_nm)
         return EnvState(mask=mask, litho=litho, epe=epe, seg_epe=seg, pvband=pvb)
+
+    def evaluate(self, mask: MaskState) -> EnvState:
+        """Run lithography + metrology for a mask state."""
+        return self._metrology(mask, self.simulator.simulate_state(mask, self.grid))
+
+    def evaluate_batch(
+        self, masks: Sequence[MaskState], mode: str = "exact"
+    ) -> list[EnvState]:
+        """Evaluate several mask states through one batched litho call.
+
+        Results are bit-for-bit identical to mapping :meth:`evaluate`
+        over ``masks`` (``mode="exact"``); ``mode="spectral"`` uses the
+        screening engine for cheap candidate ranking.
+        """
+        if not masks:
+            raise RLError("evaluate_batch needs at least one mask state")
+        images = np.stack(
+            [rasterize(mask.mask_polygons(), self.grid) for mask in masks]
+        )
+        results = self.simulator.simulate_batch(images, self.grid, mode=mode)
+        return [
+            self._metrology(mask, litho) for mask, litho in zip(masks, results)
+        ]
 
     def reset(self, bias_nm: float | None = None) -> EnvState:
         """Initial state; ``bias_nm`` overrides the configured initial bias
@@ -108,21 +137,17 @@ class OPCEnvironment:
         return self.evaluate(mask)
 
     # -- transitions ------------------------------------------------------------
-    def step(
-        self, state: EnvState, action_indices: np.ndarray
-    ) -> tuple[EnvState, float]:
-        """Apply one movement index (0..4) per segment; return next state
-        and the Eq. 3 reward."""
-        actions = np.asarray(action_indices)
-        if actions.shape != (self.n_segments,):
+    def _validate_actions(self, actions: np.ndarray) -> np.ndarray:
+        if actions.shape[-1] != self.n_segments:
             raise RLError(
                 f"expected {self.n_segments} actions, got shape {actions.shape}"
             )
         if actions.min() < 0 or actions.max() >= self.n_actions:
             raise RLError("action indices must be in [0, 5)")
-        deltas = np.asarray(MOVE_SET_NM, dtype=np.float64)[actions]
-        next_state = self.evaluate(state.mask.moved(deltas))
-        reward = compute_reward(
+        return actions
+
+    def _reward(self, state: EnvState, next_state: EnvState) -> float:
+        return compute_reward(
             epe_before=state.total_epe,
             epe_after=next_state.total_epe,
             pvb_before=state.pvband,
@@ -130,4 +155,51 @@ class OPCEnvironment:
             epsilon=self.reward_epsilon,
             beta=self.reward_beta,
         )
-        return next_state, reward
+
+    def step(
+        self, state: EnvState, action_indices: np.ndarray
+    ) -> tuple[EnvState, float]:
+        """Apply one movement index (0..4) per segment; return next state
+        and the Eq. 3 reward."""
+        actions = np.asarray(action_indices)
+        if actions.ndim != 1:
+            raise RLError(
+                f"expected {self.n_segments} actions, got shape {actions.shape}"
+            )
+        self._validate_actions(actions)
+        deltas = np.asarray(MOVE_SET_NM, dtype=np.float64)[actions]
+        next_state = self.evaluate(state.mask.moved(deltas))
+        return next_state, self._reward(state, next_state)
+
+    # -- batched candidate scoring ----------------------------------------------
+    def uniform_move_candidates(self) -> np.ndarray:
+        """``(n_actions, n_segments)`` matrix: candidate a moves *every*
+        segment by ``MOVE_SET_NM[a]``."""
+        return np.repeat(
+            np.arange(self.n_actions)[:, None], self.n_segments, axis=1
+        )
+
+    def score_moves(
+        self,
+        state: EnvState,
+        candidate_actions: np.ndarray,
+        mode: str = "exact",
+    ) -> list[tuple[EnvState, float]]:
+        """Evaluate A candidate action vectors in one batched litho call.
+
+        ``candidate_actions`` is ``(A, n_segments)`` movement indices;
+        returns one ``(next_state, reward)`` pair per candidate, each
+        bit-for-bit identical to what :meth:`step` would have produced
+        for that candidate (``mode="exact"``).
+        """
+        candidates = np.asarray(candidate_actions)
+        if candidates.ndim != 2 or candidates.shape[0] == 0:
+            raise RLError(
+                "candidate actions must be a non-empty (A, n_segments) "
+                f"matrix, got shape {candidates.shape}"
+            )
+        self._validate_actions(candidates)
+        move_set = np.asarray(MOVE_SET_NM, dtype=np.float64)
+        masks = [state.mask.moved(move_set[row]) for row in candidates]
+        next_states = self.evaluate_batch(masks, mode=mode)
+        return [(nxt, self._reward(state, nxt)) for nxt in next_states]

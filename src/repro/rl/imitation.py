@@ -21,6 +21,18 @@ from repro.rl.env import EnvState, OPCEnvironment
 TeacherPolicy = Callable[[EnvState], np.ndarray]
 
 
+def quantize_to_move_set(moves_nm: np.ndarray) -> np.ndarray:
+    """Map nm movements to the nearest index of ``MOVE_SET_NM``.
+
+    Shared by the imitation teacher and the model-based baseline so their
+    decision rules quantize identically (first match wins on ties, as
+    ``argmin`` guarantees).
+    """
+    move_set = np.asarray(MOVE_SET_NM, dtype=np.float64)
+    moves = np.asarray(moves_nm, dtype=np.float64)
+    return np.abs(moves[:, None] - move_set[None, :]).argmin(axis=1)
+
+
 def greedy_teacher_actions(
     state: EnvState, gain: float = 0.5, deadband_nm: float = 1.2
 ) -> np.ndarray:
@@ -37,8 +49,7 @@ def greedy_teacher_actions(
         raise RLError(f"gain must be positive, got {gain}")
     moves = np.clip(np.round(-gain * state.seg_epe), MOVE_SET_NM[0], MOVE_SET_NM[-1])
     moves[np.abs(state.seg_epe) < deadband_nm] = 0.0
-    move_set = np.asarray(MOVE_SET_NM, dtype=np.float64)
-    return np.asarray([int(np.argmin(np.abs(move_set - m))) for m in moves])
+    return quantize_to_move_set(moves)
 
 
 def collect_teacher_actions(

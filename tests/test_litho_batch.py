@@ -1,0 +1,264 @@
+"""Batch-parity property tests: the batched engine must match the
+single-mask reference bit-for-bit across batch sizes, process corners and
+grid shapes, so callers can switch on batch size alone."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Clip, Grid, Polygon, Rect, rasterize
+from repro.geometry.mask_edit import MaskState
+from repro.geometry.segmentation import fragment_clip
+from repro.litho import LithoConfig, LithographySimulator
+from repro.rl.env import OPCEnvironment
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return LithographySimulator(
+        LithoConfig(pixel_nm=8.0, period_nm=1024.0, ambit_nm=512.0, max_kernels=6)
+    )
+
+
+SQUARE = Grid(0, 0, 8.0, 160, 160)
+TALL = Grid(0, 0, 8.0, 176, 144)  # non-square: rows != cols
+
+
+def mask_stack(grid, count):
+    """`count` distinct masks (varying via sizes/positions) on `grid`."""
+    rng = np.random.default_rng(1234)
+    masks = []
+    for _ in range(count):
+        cx = float(rng.integers(500, int(grid.cols * 8) - 500))
+        cy = float(rng.integers(500, int(grid.rows * 8) - 500))
+        size = float(rng.integers(60, 120))
+        masks.append(
+            rasterize([Polygon.from_rect(Rect.square(cx, cy, size))], grid)
+        )
+    return masks
+
+
+def assert_results_identical(batch_result, single_result):
+    assert np.array_equal(batch_result.aerial, single_result.aerial)
+    assert np.array_equal(
+        batch_result.aerial_defocus, single_result.aerial_defocus
+    )
+    for corner in ("nominal", "inner", "outer"):
+        assert np.array_equal(
+            batch_result.printed[corner], single_result.printed[corner]
+        )
+
+
+class TestBatchParity:
+    @pytest.mark.parametrize("batch_size", [1, 2, 7])
+    @pytest.mark.parametrize("grid", [SQUARE, TALL], ids=["square", "tall"])
+    def test_simulate_batch_matches_simulate_mask(self, sim, grid, batch_size):
+        masks = mask_stack(grid, batch_size)
+        batched = sim.simulate_batch(masks, grid)
+        assert len(batched) == batch_size
+        for mask, result in zip(masks, batched):
+            assert_results_identical(result, sim.simulate_mask(mask, grid))
+
+    def test_array_and_list_inputs_agree(self, sim):
+        masks = mask_stack(SQUARE, 3)
+        from_list = sim.simulate_batch(masks, SQUARE)
+        from_array = sim.simulate_batch(np.stack(masks), SQUARE)
+        for a, b in zip(from_list, from_array):
+            assert_results_identical(a, b)
+
+    def test_convolve_batch_matches_single(self, sim):
+        kernel_set = sim.kernel_set(0.0)
+        masks = mask_stack(SQUARE, 4)
+        batched = kernel_set.convolve_intensity_batch(np.stack(masks))
+        for mask, intensity in zip(masks, batched):
+            assert np.array_equal(intensity, kernel_set.convolve_intensity(mask))
+
+    def test_simulate_polygons_still_matches_reference(self, sim):
+        """simulate_polygons routes through the batched engine at B=1 and
+        must stay bit-for-bit equal to the single-mask reference path."""
+        poly = Polygon.from_rect(Rect.square(640, 640, 100))
+        via_batch = sim.simulate_polygons([poly], SQUARE)
+        via_reference = sim.simulate_mask(rasterize([poly], SQUARE), SQUARE)
+        assert_results_identical(via_batch, via_reference)
+
+
+class TestSpectralScreening:
+    def test_close_to_exact(self, sim):
+        masks = mask_stack(SQUARE, 3)
+        exact = sim.simulate_batch(masks, SQUARE, mode="exact")
+        screened = sim.simulate_batch(masks, SQUARE, mode="spectral")
+        for e, s in zip(exact, screened):
+            assert np.abs(e.aerial - s.aerial).max() < 5e-3
+            assert np.abs(e.aerial_defocus - s.aerial_defocus).max() < 5e-3
+
+    def test_plan_shrinks_grid(self, sim):
+        plan = sim.spectral_convolver(0.0).plan(SQUARE.shape)
+        assert plan.effective
+        assert plan.subgrid[0] < SQUARE.rows and plan.subgrid[1] < SQUARE.cols
+
+    def test_fallback_when_band_covers_grid(self):
+        """When the transmitted band spans the whole grid, the screening
+        path must fall back to (and exactly match) the exact engine."""
+        from repro.litho import OpticalKernelSet, SpectralConvolver
+
+        rng = np.random.default_rng(7)
+        kernel_set = OpticalKernelSet(
+            weights=np.array([0.6, 0.4]),
+            kernels=rng.normal(size=(2, 5, 5))
+            + 1j * rng.normal(size=(2, 5, 5)),
+            pixel_nm=8.0,
+            defocus_nm=0.0,
+            cutoff_per_nm=10.0,  # band radius clamps to the full grid
+        )
+        convolver = SpectralConvolver(kernel_set)
+        assert not convolver.plan((32, 32)).effective
+        mask = np.zeros((32, 32))
+        mask[10:20, 10:20] = 1.0
+        screened = convolver.convolve_intensity_batch(mask[None])
+        exact = kernel_set.convolve_intensity(mask)
+        assert np.array_equal(screened[0], exact)
+
+
+def _tiny_env(sim):
+    clip = Clip(
+        name="batch-env",
+        bbox=Rect(0, 0, 1280, 1280),
+        targets=(Polygon.from_rect(Rect.square(640, 640, 90)),),
+        layer="via",
+    )
+    return OPCEnvironment(clip, sim, initial_bias_nm=3.0)
+
+
+class TestEnvBatching:
+    def test_evaluate_batch_matches_evaluate(self, sim):
+        env = _tiny_env(sim)
+        base = env.reset()
+        deltas = [np.full(env.n_segments, d) for d in (-2.0, 0.0, 2.0)]
+        masks = [base.mask.moved(d) for d in deltas]
+        batched = env.evaluate_batch(masks)
+        for mask, state in zip(masks, batched):
+            reference = env.evaluate(mask)
+            assert np.array_equal(state.litho.aerial, reference.litho.aerial)
+            assert np.array_equal(state.seg_epe, reference.seg_epe)
+            assert state.total_epe == reference.total_epe
+            assert state.pvband == reference.pvband
+
+    def test_score_moves_matches_step(self, sim):
+        env = _tiny_env(sim)
+        base = env.reset()
+        candidates = env.uniform_move_candidates()
+        scored = env.score_moves(base, candidates)
+        assert len(scored) == env.n_actions
+        for row, (state, reward) in zip(candidates, scored):
+            step_state, step_reward = env.step(base, row)
+            assert np.array_equal(state.litho.aerial, step_state.litho.aerial)
+            assert state.total_epe == step_state.total_epe
+            assert reward == step_reward
+
+    def test_uniform_candidates_shape(self, sim):
+        env = _tiny_env(sim)
+        candidates = env.uniform_move_candidates()
+        assert candidates.shape == (env.n_actions, env.n_segments)
+        for action, row in enumerate(candidates):
+            assert np.all(row == action)
+
+
+class TestRunnerBatchVerification:
+    def test_suite_recheck_passes_and_raises_on_drift(self, sim):
+        from repro.baselines.mbopc import MBOPC, MBOPCConfig
+        from repro.errors import MetrologyError
+        from repro.eval.runner import batch_verify_epe, run_engine_on_suite
+
+        clip = Clip(
+            name="runner-clip",
+            bbox=Rect(0, 0, 1280, 1280),
+            targets=(Polygon.from_rect(Rect.square(640, 640, 90)),),
+            layer="via",
+        )
+        engine = MBOPC(MBOPCConfig(max_updates=2, initial_bias_nm=3.0), sim)
+        result = run_engine_on_suite(
+            engine, [clip], "MB-OPC", verify_simulator=sim
+        )
+        assert len(result.rows) == 1
+
+        # A corrupted self-report must be caught by the batched recheck.
+        outcome = engine.optimize(clip)
+        measured = batch_verify_epe(sim, [clip], [outcome])
+        assert measured["runner-clip"] == pytest.approx(outcome.epe_total)
+
+        class LyingEngine:
+            def optimize(self, clip, **kwargs):
+                class Fake:
+                    epe_total = outcome.epe_total + 5.0
+                    pvband = outcome.pvband
+                    runtime_s = outcome.runtime_s
+                    steps = outcome.steps
+                    early_exited = outcome.early_exited
+                    final_state = outcome.final_state
+
+                return Fake()
+
+        with pytest.raises(MetrologyError, match="re-simulation"):
+            run_engine_on_suite(
+                LyingEngine(), [clip], "liar", verify_simulator=sim
+            )
+
+    def test_recheck_honours_engine_search_range(self, sim):
+        """The verifier must re-measure with the engine's configured
+        contour-search range, not the 40 nm default — otherwise engines
+        with a custom epe_search_nm are falsely flagged as drifting."""
+        from repro.baselines.mbopc import MBOPC, MBOPCConfig
+        from repro.eval.runner import run_engine_on_suite
+
+        from repro.eval.runner import batch_verify_epe
+
+        clip = Clip(
+            name="search-clip",
+            bbox=Rect(0, 0, 1280, 1280),
+            targets=(Polygon.from_rect(Rect.square(640, 640, 130)),),
+            layer="via",
+        )
+        # Over-biased, unoptimized mask: the printed contour sits 12-40 nm
+        # outside the target, so the 12 nm and 40 nm search ranges measure
+        # different EPE and a default-range recheck would false-alarm.
+        engine = MBOPC(
+            MBOPCConfig(max_updates=0, initial_bias_nm=12.0, epe_search_nm=12.0),
+            sim,
+        )
+        outcome = engine.optimize(clip, early_exit=False)
+        wide = batch_verify_epe(sim, [clip], [outcome], epe_search_nm=40.0)
+        assert abs(wide["search-clip"] - outcome.epe_total) > 1.0  # sanity
+        result = run_engine_on_suite(
+            engine,
+            [clip],
+            "narrow-search",
+            verify_simulator=sim,
+            early_exit=False,
+        )
+        assert len(result.rows) == 1
+
+
+class TestAgentLookahead:
+    def test_lookahead_first_step_never_worse(self, sim):
+        """With candidate_lookahead the agent picks the best of {policy
+        action, five uniform moves} per step, so its first-step reward is
+        >= the plain policy's (both runs are deterministic at inference)."""
+        from repro.core.agent import CAMO
+        from repro.core.config import CamoConfig
+
+        clip = Clip(
+            name="lookahead",
+            bbox=Rect(0, 0, 1280, 1280),
+            targets=(Polygon.from_rect(Rect.square(640, 640, 90)),),
+            layer="via",
+        )
+        plain = CAMO(
+            CamoConfig.smoke(initial_bias_nm=3.0, max_updates=2), sim
+        ).optimize(clip, early_exit=False)
+        ahead = CAMO(
+            CamoConfig.smoke(
+                initial_bias_nm=3.0, max_updates=2, candidate_lookahead=True
+            ),
+            sim,
+        ).optimize(clip, early_exit=False)
+        assert ahead.steps == plain.steps == 2
+        assert ahead.trajectory.steps[0].reward >= plain.trajectory.steps[0].reward

@@ -1,0 +1,228 @@
+"""Error-path coverage for the lithography engine plus the bounded
+kernel-FFT cache: every ``LithoError`` raise in ``kernels.py`` /
+``simulator.py`` / ``spectral.py`` is exercised, and LRU eviction is
+shown to keep results correct."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LithoError, RLError
+from repro.geometry import Clip, Grid, Polygon, Rect
+from repro.litho import (
+    LithoConfig,
+    LithographySimulator,
+    OpticalKernelSet,
+    SpectralConvolver,
+)
+from repro.litho.spectral import next_fast_len
+from repro.rl.env import OPCEnvironment
+
+
+def tiny_kernel_set(capacity: int = 6, cutoff: float | None = 0.0126):
+    rng = np.random.default_rng(42)
+    return OpticalKernelSet(
+        weights=np.array([0.5, 0.3, 0.2]),
+        kernels=rng.normal(size=(3, 5, 5)) + 1j * rng.normal(size=(3, 5, 5)),
+        pixel_nm=8.0,
+        defocus_nm=0.0,
+        cutoff_per_nm=cutoff,
+        fft_cache_capacity=capacity,
+    )
+
+
+class TestKernelSetErrors:
+    def test_non_2d_mask(self):
+        with pytest.raises(LithoError):
+            tiny_kernel_set().convolve_intensity(np.ones((2, 16, 16)))
+
+    def test_mask_smaller_than_ambit(self):
+        with pytest.raises(LithoError):
+            tiny_kernel_set().convolve_intensity(np.ones((3, 3)))
+
+    def test_batch_rejects_2d(self):
+        with pytest.raises(LithoError, match="3-D"):
+            tiny_kernel_set().convolve_intensity_batch(np.ones((16, 16)))
+
+    def test_batch_rejects_4d(self):
+        with pytest.raises(LithoError, match="3-D"):
+            tiny_kernel_set().convolve_intensity_batch(np.ones((2, 2, 16, 16)))
+
+    def test_batch_rejects_empty(self):
+        with pytest.raises(LithoError, match="empty"):
+            tiny_kernel_set().convolve_intensity_batch(np.empty((0, 16, 16)))
+
+    def test_batch_rejects_small_masks(self):
+        with pytest.raises(LithoError, match="ambit"):
+            tiny_kernel_set().convolve_intensity_batch(np.ones((2, 3, 3)))
+
+    def test_spectra_helper_rejects_2d(self):
+        with pytest.raises(LithoError, match="3-D"):
+            tiny_kernel_set().intensity_from_mask_ffts(np.ones((16, 16), complex))
+
+    def test_fields_helper_rejects_3d(self):
+        with pytest.raises(LithoError, match="2-D"):
+            tiny_kernel_set().fields_from_mask_fft(np.ones((2, 16, 16), complex))
+
+    def test_kernel_spectra_rejects_small_grid(self):
+        with pytest.raises(LithoError, match="ambit"):
+            tiny_kernel_set().kernel_spectra((3, 3))
+
+    def test_spectra_helper_rejects_small_grid(self):
+        with pytest.raises(LithoError, match="ambit"):
+            tiny_kernel_set().intensity_from_mask_ffts(
+                np.ones((1, 3, 3), complex)
+            )
+
+    def test_fields_helper_rejects_small_grid(self):
+        with pytest.raises(LithoError, match="ambit"):
+            tiny_kernel_set().fields_from_mask_fft(np.ones((3, 3), complex))
+
+    def test_bad_cache_capacity(self):
+        with pytest.raises(LithoError, match="fft_cache_capacity"):
+            tiny_kernel_set(capacity=0)
+
+    def test_bad_kernel_shape(self):
+        with pytest.raises(LithoError):
+            OpticalKernelSet(
+                weights=np.ones(2),
+                kernels=np.ones((2, 5, 4), dtype=complex),
+                pixel_nm=8.0,
+                defocus_nm=0.0,
+            )
+
+    def test_weights_kernels_mismatch(self):
+        with pytest.raises(LithoError):
+            OpticalKernelSet(
+                weights=np.ones(3),
+                kernels=np.ones((2, 5, 5), dtype=complex),
+                pixel_nm=8.0,
+                defocus_nm=0.0,
+            )
+
+
+class TestFFTCacheLRU:
+    def test_capacity_is_enforced(self):
+        kernel_set = tiny_kernel_set(capacity=2)
+        for n in (16, 20, 24, 28):
+            kernel_set.convolve_intensity(np.ones((n, n)))
+        assert len(kernel_set._fft_cache) == 2
+        assert list(kernel_set._fft_cache) == [(24, 24), (28, 28)]
+
+    def test_recently_used_shape_survives(self):
+        kernel_set = tiny_kernel_set(capacity=2)
+        kernel_set.convolve_intensity(np.ones((16, 16)))
+        kernel_set.convolve_intensity(np.ones((20, 20)))
+        kernel_set.convolve_intensity(np.ones((16, 16)))  # refresh (16, 16)
+        kernel_set.convolve_intensity(np.ones((24, 24)))  # evicts (20, 20)
+        assert list(kernel_set._fft_cache) == [(16, 16), (24, 24)]
+
+    def test_eviction_keeps_results_correct(self):
+        """Recomputing an evicted shape must reproduce the original
+        intensities exactly."""
+        kernel_set = tiny_kernel_set(capacity=1)
+        rng = np.random.default_rng(3)
+        mask_small = rng.random((16, 16))
+        mask_large = rng.random((24, 24))
+        first = kernel_set.convolve_intensity(mask_small)
+        kernel_set.convolve_intensity(mask_large)  # evicts the (16, 16) FFTs
+        assert (16, 16) not in kernel_set._fft_cache
+        again = kernel_set.convolve_intensity(mask_small)
+        assert np.array_equal(first, again)
+
+    def test_batch_and_single_share_cache(self):
+        kernel_set = tiny_kernel_set()
+        kernel_set.convolve_intensity(np.ones((16, 16)))
+        assert list(kernel_set._fft_cache) == [(16, 16)]
+        kernel_set.convolve_intensity_batch(np.ones((4, 16, 16)))
+        assert list(kernel_set._fft_cache) == [(16, 16)]  # no new entry
+
+
+class TestSimulatorErrors:
+    @pytest.fixture(scope="class")
+    def sim(self):
+        return LithographySimulator(
+            LithoConfig(
+                pixel_nm=8.0, period_nm=1024.0, ambit_nm=512.0, max_kernels=4
+            )
+        )
+
+    def test_bad_mode(self, sim):
+        grid = Grid(0, 0, 8.0, 96, 96)
+        with pytest.raises(LithoError, match="mode"):
+            sim.simulate_batch(np.ones((1, 96, 96)), grid, mode="turbo")
+
+    def test_empty_batch(self, sim):
+        grid = Grid(0, 0, 8.0, 96, 96)
+        with pytest.raises(LithoError, match="empty"):
+            sim.simulate_batch([], grid)
+
+    def test_ragged_batch(self, sim):
+        grid = Grid(0, 0, 8.0, 96, 96)
+        with pytest.raises(LithoError, match="share one shape"):
+            sim.simulate_batch([np.ones((96, 96)), np.ones((80, 80))], grid)
+
+    def test_grid_mismatch(self, sim):
+        grid = Grid(0, 0, 8.0, 96, 96)
+        with pytest.raises(LithoError, match="grid"):
+            sim.simulate_batch(np.ones((1, 80, 80)), grid)
+
+    def test_mask_below_ambit(self, sim):
+        grid = Grid(0, 0, 8.0, 16, 16)
+        with pytest.raises(LithoError, match="ambit"):
+            sim.simulate_batch(np.ones((1, 16, 16)), grid)
+
+
+class TestSpectralErrors:
+    def test_requires_cutoff(self):
+        with pytest.raises(LithoError, match="cutoff"):
+            SpectralConvolver(tiny_kernel_set(cutoff=None))
+
+    def test_bad_band_scale(self):
+        with pytest.raises(LithoError, match="band_scale"):
+            SpectralConvolver(tiny_kernel_set(), band_scale=0.0)
+
+    def test_spectra_helper_rejects_2d(self):
+        convolver = SpectralConvolver(tiny_kernel_set())
+        with pytest.raises(LithoError, match="3-D"):
+            convolver.intensity_from_mask_ffts(np.ones((64, 64), complex))
+
+    def test_bad_fft_length(self):
+        with pytest.raises(LithoError):
+            next_fast_len(0)
+
+
+class TestEnvBatchErrors:
+    @pytest.fixture(scope="class")
+    def env(self):
+        sim = LithographySimulator(
+            LithoConfig(
+                pixel_nm=8.0, period_nm=1024.0, ambit_nm=512.0, max_kernels=4
+            )
+        )
+        clip = Clip(
+            name="err-env",
+            bbox=Rect(0, 0, 1280, 1280),
+            targets=(Polygon.from_rect(Rect.square(640, 640, 90)),),
+            layer="via",
+        )
+        return OPCEnvironment(clip, sim)
+
+    def test_empty_evaluate_batch(self, env):
+        with pytest.raises(RLError, match="at least one"):
+            env.evaluate_batch([])
+
+    def test_score_moves_rejects_1d(self, env):
+        state = env.reset()
+        with pytest.raises(RLError, match="matrix"):
+            env.score_moves(state, np.zeros(env.n_segments, dtype=int))
+
+    def test_score_moves_rejects_wrong_width(self, env):
+        state = env.reset()
+        with pytest.raises(RLError, match="actions"):
+            env.score_moves(state, np.zeros((2, env.n_segments + 1), dtype=int))
+
+    def test_score_moves_rejects_out_of_range(self, env):
+        state = env.reset()
+        bad = np.full((1, env.n_segments), env.n_actions)
+        with pytest.raises(RLError, match="indices"):
+            env.score_moves(state, bad)
