@@ -27,8 +27,16 @@ from repro.nn.optim import SGD, Adam
 from repro.nn.tensor import Tensor, no_grad
 from repro.nn.sage import mean_adjacency
 from repro.rl.env import EnvState, OPCEnvironment
-from repro.rl.imitation import collect_teacher_actions, greedy_teacher_actions
-from repro.rl.reinforce import policy_gradient_step, select_log_probs
+from repro.rl.imitation import (
+    collect_teacher_actions_population,
+    greedy_teacher_actions,
+)
+from repro.rl.reinforce import (
+    policy_gradient_step,
+    population_gradient_step,
+    select_log_probs,
+    select_log_probs_population,
+)
 from repro.rl.trajectory import Trajectory, TrajectoryStep
 from repro.squish.features import NodeFeatureEncoder
 
@@ -145,7 +153,11 @@ class CAMO:
     def _sample_actions(self, distribution: np.ndarray) -> np.ndarray:
         cumulative = distribution.cumsum(axis=1)
         draws = self.rng.random((len(distribution), 1))
-        return (draws > cumulative).sum(axis=1)
+        # Float rounding can leave cumulative[-1] slightly below 1.0, in
+        # which case a draw above it would index past the move set.
+        return np.minimum(
+            (draws > cumulative).sum(axis=1), distribution.shape[1] - 1
+        )
 
     # -- early exit ------------------------------------------------------------
     def _early_exit(self, clip: Clip, state: EnvState) -> bool:
@@ -177,19 +189,24 @@ class CAMO:
         for clip in clips:
             ctx = self.context(clip)
             if ctx.teacher_samples is None:
-                rollout = []
-                for offset in self.config.imitation_bias_offsets:
-                    start = ctx.env.reset(
-                        bias_nm=self.config.initial_bias_nm + offset
+                # All bias-offset trajectories roll in lockstep: one
+                # batched litho + metrology call per teacher step, with
+                # samples bit-for-bit equal to (and ordered like) the
+                # sequential per-offset rollouts.
+                starts = [
+                    ctx.env.reset(bias_nm=self.config.initial_bias_nm + offset)
+                    for offset in self.config.imitation_bias_offsets
+                ]
+                rollout = [
+                    sample
+                    for trajectory in collect_teacher_actions_population(
+                        ctx.env,
+                        steps=self.config.imitation_steps,
+                        teacher=greedy_teacher_actions,
+                        initial_states=starts,
                     )
-                    rollout.extend(
-                        collect_teacher_actions(
-                            ctx.env,
-                            steps=self.config.imitation_steps,
-                            teacher=greedy_teacher_actions,
-                            initial_state=start,
-                        )
-                    )
+                    for sample in trajectory
+                ]
                 # Teacher states never change across epochs: encode the
                 # features (and the modulator's logit offset) once.
                 ctx.teacher_samples = [
@@ -221,21 +238,39 @@ class CAMO:
             if verbose:
                 print(f"[imitation] epoch {epoch}: sum log-prob {epoch_logp:.2f}")
 
-    def _train_rl(
-        self, clips: list[Clip], history: dict[str, list[float]], verbose: bool
-    ) -> None:
-        """Phase 2: modulated exploration with per-step Eq. 7 updates.
-
-        An exponential-moving-average reward baseline turns the raw reward
-        into an advantage — plain REINFORCE with batch size 1 is otherwise
-        too noisy and can undo the imitation phase.
-        """
+    def _rl_optimizer(self):
         rl_lr = (
             self.config.rl_learning_rate
             if self.config.rl_learning_rate is not None
             else 0.3 * self.config.learning_rate
         )
-        rl_optimizer = self._make_optimizer(rl_lr)
+        return self._make_optimizer(rl_lr)
+
+    def _train_rl(
+        self, clips: list[Clip], history: dict[str, list[float]], verbose: bool
+    ) -> None:
+        """Phase 2: modulated exploration with Eq. 7 updates.
+
+        ``rl_population == 1`` with exact evaluation runs the original
+        sequential loop (bit-for-bit reproducible histories); a larger
+        population — or a spectral exploration mode — routes through the
+        lockstep population loop.
+        """
+        if self.config.rl_population > 1 or self.config.rl_eval_mode != "exact":
+            self._train_rl_population(clips, history, verbose)
+        else:
+            self._train_rl_sequential(clips, history, verbose)
+
+    def _train_rl_sequential(
+        self, clips: list[Clip], history: dict[str, list[float]], verbose: bool
+    ) -> None:
+        """One trajectory at a time with per-step Eq. 7 updates.
+
+        An exponential-moving-average reward baseline turns the raw reward
+        into an advantage — plain REINFORCE with batch size 1 is otherwise
+        too noisy and can undo the imitation phase.
+        """
+        rl_optimizer = self._rl_optimizer()
         baseline = 0.0
         baseline_initialized = False
         for epoch in range(self.config.rl_epochs):
@@ -276,6 +311,112 @@ class CAMO:
             history["rl_reward"].append(epoch_reward)
             if verbose:
                 print(f"[rl] epoch {epoch}: total reward {epoch_reward:.3f}")
+
+    def _population_distributions(
+        self, logits_data: np.ndarray, seg_epes: np.ndarray, step: int
+    ) -> np.ndarray:
+        """Modulated per-segment distributions for a ``(P, n, 5)`` stack."""
+        temperature = max(self.config.policy_temperature, 1e-6)
+        probs = softmax(Tensor(logits_data * (1.0 / temperature)), axis=-1).numpy()
+        if not self.config.use_modulator:
+            return probs
+        gain = self._gain(step)
+        return np.stack(
+            [
+                self.modulator.modulate(member, seg_epe, gain=gain)
+                for member, seg_epe in zip(probs, seg_epes)
+            ]
+        )
+
+    def _train_rl_population(
+        self, clips: list[Clip], history: dict[str, list[float]], verbose: bool
+    ) -> None:
+        """Phase 2 over a lockstep population of P trajectories per clip.
+
+        Per step: P modulated action samples from one batched policy
+        forward (:meth:`CamoPolicy.forward_population`), one batched
+        litho + metrology transition
+        (:meth:`~repro.rl.env.OPCEnvironment.step_batch`, optionally in
+        spectral screening mode), and one accumulated policy-gradient
+        step over the per-trajectory EMA-baseline advantages.  Each
+        baseline slot persists across clips and epochs, mirroring the
+        sequential loop's single EMA baseline.  Trajectories that reach
+        the early-exit criterion drop out of the batch individually.
+        """
+        population = self.config.rl_population
+        mode = self.config.rl_eval_mode
+        rl_optimizer = self._rl_optimizer()
+        baselines = np.zeros(population, dtype=np.float64)
+        initialized = np.zeros(population, dtype=bool)
+        for epoch in range(self.config.rl_epochs):
+            epoch_reward = 0.0
+            for clip in clips:
+                ctx = self.context(clip)
+                # reset() is deterministic, so the population shares one
+                # evaluated start state (EnvState is immutable); the
+                # trajectories diverge at the first sampled actions.
+                start = ctx.env.reset()
+                states: list[EnvState] = [start] * population
+                active = list(range(population))
+                for step in range(self.config.max_updates):
+                    features = np.stack(
+                        [self.encoder.encode_all(states[p].mask) for p in active]
+                    )
+                    logits = self.policy.forward_population(
+                        features, ctx.adjacency, ctx.order
+                    )
+                    seg_epes = np.stack([states[p].seg_epe for p in active])
+                    distributions = self._population_distributions(
+                        logits.numpy(), seg_epes, step
+                    )
+                    flat = distributions.reshape(-1, self.config.n_actions)
+                    actions = self._sample_actions(flat).reshape(
+                        len(active), ctx.env.n_segments
+                    )
+                    stepped = ctx.env.step_batch(
+                        [states[p] for p in active], actions, mode=mode
+                    )
+                    rewards = np.asarray([reward for _, reward in stepped])
+                    slots = np.asarray(active)
+                    fresh = ~initialized[slots]
+                    baselines[slots[fresh]] = rewards[fresh]
+                    initialized[slots[fresh]] = True
+                    advantages = rewards - baselines[slots]
+                    baselines[slots] = 0.8 * baselines[slots] + 0.2 * rewards
+                    if self.config.use_modulator and self.config.train_on_modulated:
+                        gain = self._gain(step)
+                        log_pref = np.stack(
+                            [
+                                self.modulator.log_preference_batch(
+                                    seg_epe, gain=gain
+                                )
+                                for seg_epe in seg_epes
+                            ]
+                        )
+                        log_probs = select_log_probs_population(
+                            logits + Tensor(log_pref), actions
+                        )
+                    else:
+                        log_probs = select_log_probs_population(logits, actions)
+                    population_gradient_step(
+                        rl_optimizer, log_probs, advantages,
+                        max_grad_norm=self.config.max_grad_norm,
+                    )
+                    epoch_reward += float(rewards.sum())
+                    survivors = []
+                    for index, p in enumerate(active):
+                        states[p] = stepped[index][0]
+                        if not self._early_exit(clip, states[p]):
+                            survivors.append(p)
+                    active = survivors
+                    if not active:
+                        break
+            history["rl_reward"].append(epoch_reward)
+            if verbose:
+                print(
+                    f"[rl/pop{population}] epoch {epoch}: "
+                    f"total reward {epoch_reward:.3f}"
+                )
 
     # -- inference (Eq. 6) -----------------------------------------------------
     def optimize(

@@ -97,6 +97,20 @@ class CamoConfig:
     rl_learning_rate: float | None = None
     """Phase-2 learning rate; defaults to 0.3x the phase-1 rate (single-
     sample REINFORCE is noisier than behaviour cloning)."""
+    rl_population: int = 1
+    """Number of phase-2 trajectories advanced in lockstep per clip.
+    ``1`` (the default) runs the original sequential loop and reproduces
+    its training histories bit-for-bit.  ``P > 1`` samples P action
+    vectors per step, evaluates them through one batched litho +
+    metrology call, and folds the per-trajectory EMA-baseline advantages
+    into one accumulated policy-gradient step — the population throughput
+    path (see ``benchmarks/bench_train_throughput.py``)."""
+    rl_eval_mode: str = "exact"
+    """Lithography mode for phase-2 *exploration* transitions: ``"exact"``
+    or ``"spectral"`` (the pupil-band screening engine, ~1e-3 intensity
+    error — fine for sampling rollouts, never used for reported
+    metrology).  Any non-exact mode routes training through the
+    population loop even at P=1."""
     max_grad_norm: float = 10.0
     seed: int = 2024
 
@@ -123,6 +137,12 @@ class CamoConfig:
             )
         if self.optimizer not in ("sgd", "adam"):
             raise ConfigError(f"unknown optimizer {self.optimizer!r}")
+        if self.rl_population < 1:
+            raise ConfigError(
+                f"rl_population must be >= 1, got {self.rl_population}"
+            )
+        if self.rl_eval_mode not in ("exact", "spectral"):
+            raise ConfigError(f"unknown rl_eval_mode {self.rl_eval_mode!r}")
         if self.encoder_tail not in ("gap", "flatten"):
             raise ConfigError(f"unknown encoder_tail {self.encoder_tail!r}")
         if self.sage_layers < 1:

@@ -113,6 +113,54 @@ class CamoPolicy(Module):
 
         return self.head(hidden)
 
+    def forward_population(
+        self,
+        features: np.ndarray,
+        adjacency: np.ndarray,
+        order: list[int],
+    ) -> Tensor:
+        """Movement logits ``(P, n, 5)`` for P independent states of one clip.
+
+        The population shares the clip's graph and visit order but owns
+        distinct masks (population-based RL training), so the whole
+        forward runs as one batched graph: the CNN sees ``(P * n)`` nodes
+        at once, GraphSAGE broadcasts the shared adjacency over the
+        population axis, and the RNN advances P sequences per time step
+        with a ``(P, hidden)`` state.  The batching never mixes rows;
+        each population row matches what :meth:`forward` computes for
+        that state alone to within a few ulps (batched matmuls may sum
+        in a different order — not bit-for-bit).  The graph holds ~P
+        times fewer ops, which is what makes the accumulated population
+        policy-gradient step cheap.
+
+        Args:
+            features: ``(P, n, channels, s, s)`` node feature tensors.
+        """
+        if features.ndim != 5:
+            raise NNError(
+                f"expected (P, n, c, s, s) population features, got "
+                f"{features.shape}"
+            )
+        population, n = features.shape[:2]
+        if sorted(order) != list(range(n)):
+            raise NNError("order must be a permutation of node indices")
+        flat = features.reshape(population * n, *features.shape[2:])
+        embeddings = self.encoder(Tensor(flat)).reshape(population, n, -1)
+
+        if self.config.use_gnn:
+            for index in range(self.config.sage_layers):
+                embeddings = getattr(self, f"sage{index}")(embeddings, adjacency)
+
+        if self.config.use_rnn:
+            order_arr = np.asarray(order)
+            ordered = embeddings[:, order_arr]
+            hidden = self.rnn.forward_batch(ordered.transpose(1, 0, 2))
+            hidden = hidden.transpose(1, 0, 2)[:, np.argsort(order_arr)]
+        else:
+            hidden = self.node_mlp(embeddings)
+
+        return self.head(hidden)
+
     def probabilities(
         self,
         features: np.ndarray,

@@ -22,7 +22,7 @@ from repro.geometry.layout import Clip
 from repro.geometry.raster import Grid, rasterize
 from repro.geometry.segmentation import fragment_clip
 from repro.litho.simulator import LithographySimulator
-from repro.metrology.epe import measure_epe
+from repro.metrology.epe import measure_epe_grouped
 
 _VERIFY_TOLERANCE_NM = 1e-6
 
@@ -56,11 +56,14 @@ def batch_verify_epe(
     outcomes: list,
     epe_search_nm: float = 40.0,
 ) -> dict[str, float]:
-    """Re-measure every outcome's EPE through the batched litho engine.
+    """Re-measure every outcome's EPE through the batched engines.
 
     Clips are grouped by grid shape so each group is one
-    ``simulate_batch`` call.  Returns ``{clip_name: epe_nm}`` for every
-    outcome whose final mask could be recovered.
+    ``simulate_batch`` call followed by one batched metrology call
+    (:func:`~repro.metrology.epe.measure_epe_grouped` — the clips share a
+    shape but not geometry, so each carries its own grid and measure
+    points).  Returns ``{clip_name: epe_nm}`` for every outcome whose
+    final mask could be recovered.
     """
     groups: dict[tuple[int, int], list[tuple[Clip, np.ndarray]]] = {}
     for clip, outcome in zip(clips, outcomes):
@@ -76,15 +79,15 @@ def batch_verify_epe(
         grids = [simulator.grid_for(clip) for clip, _ in members]
         stack = np.stack([image for _, image in members])
         results = simulator.simulate_batch(stack, grids[0], mode="exact")
-        for (clip, _), grid, litho in zip(members, grids, results):
-            epe = measure_epe(
-                litho.aerial,
-                grid,
-                fragment_clip(clip),
-                threshold,
-                search_nm=epe_search_nm,
-            )
-            measured[clip.name] = epe.total_abs
+        reports = measure_epe_grouped(
+            np.stack([litho.aerial for litho in results]),
+            grids,
+            [fragment_clip(clip) for clip, _ in members],
+            threshold,
+            search_nm=epe_search_nm,
+        )
+        for (clip, _), report in zip(members, reports):
+            measured[clip.name] = report.total_abs
     return measured
 
 

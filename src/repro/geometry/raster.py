@@ -177,10 +177,10 @@ def bilinear_sample(image: np.ndarray, grid: Grid, x: float, y: float) -> float:
     return float(top * (1 - fr) + bottom * fr)
 
 
-def bilinear_sample_many(
-    image: np.ndarray, grid: Grid, xs: Sequence[float], ys: Sequence[float]
-) -> np.ndarray:
-    """Vectorized :func:`bilinear_sample` over matching coordinate arrays."""
+def _bilinear_weights(
+    grid: Grid, xs: Sequence[float], ys: Sequence[float]
+) -> tuple[np.ndarray, ...]:
+    """Corner indices and fractional weights shared by the samplers."""
     xs_arr = np.asarray(xs, dtype=np.float64)
     ys_arr = np.asarray(ys, dtype=np.float64)
     col_f = np.clip((xs_arr - grid.x0) / grid.pixel_nm - 0.5, 0.0, grid.cols - 1.0)
@@ -189,8 +189,38 @@ def bilinear_sample_many(
     c0 = np.floor(col_f).astype(np.int64)
     r1 = np.minimum(r0 + 1, grid.rows - 1)
     c1 = np.minimum(c0 + 1, grid.cols - 1)
-    fr = row_f - r0
-    fc = col_f - c0
+    return r0, c0, r1, c1, row_f - r0, col_f - c0
+
+
+def bilinear_sample_many(
+    image: np.ndarray, grid: Grid, xs: Sequence[float], ys: Sequence[float]
+) -> np.ndarray:
+    """Vectorized :func:`bilinear_sample` over matching coordinate arrays."""
+    r0, c0, r1, c1, fr, fc = _bilinear_weights(grid, xs, ys)
     top = image[r0, c0] * (1 - fc) + image[r0, c1] * fc
     bottom = image[r1, c0] * (1 - fc) + image[r1, c1] * fc
+    return top * (1 - fr) + bottom * fr
+
+
+def bilinear_sample_stack(
+    images: np.ndarray, grid: Grid, xs: Sequence[float], ys: Sequence[float]
+) -> np.ndarray:
+    """Sample the *same* nm points on a ``(B, H, W)`` image stack.
+
+    One gather per corner covers the whole batch; each row is bit-for-bit
+    identical to :func:`bilinear_sample_many` on that image (the per-point
+    index/weight arithmetic is shared and the blend broadcasts the same
+    elementwise operations).
+
+    Returns:
+        ``(B, n)`` sampled values.
+    """
+    stack = np.asarray(images)
+    if stack.ndim != 3:
+        raise RasterError(
+            f"image stack must be 3-D (B, H, W), got shape {stack.shape}"
+        )
+    r0, c0, r1, c1, fr, fc = _bilinear_weights(grid, xs, ys)
+    top = stack[:, r0, c0] * (1 - fc) + stack[:, r0, c1] * fc
+    bottom = stack[:, r1, c0] * (1 - fc) + stack[:, r1, c1] * fc
     return top * (1 - fr) + bottom * fr

@@ -10,6 +10,11 @@ FFT convolutions.  A constant-threshold resist model with dose/defocus
 process corners yields printed contours and the PV band.
 """
 
+from repro.litho.fft import (
+    FFTBackend,
+    resolve_fft_backend,
+    scipy_fft_available,
+)
 from repro.litho.source import SourceSpec, source_weights
 from repro.litho.pupil import pupil_function
 from repro.litho.tcc import build_tcc, socs_kernels
@@ -21,6 +26,9 @@ from repro.litho.process import ProcessCorner, nominal_corner, standard_corners
 from repro.litho.simulator import LithographySimulator, LithoConfig, LithoResult
 
 __all__ = [
+    "FFTBackend",
+    "resolve_fft_backend",
+    "scipy_fft_available",
     "SourceSpec",
     "source_weights",
     "pupil_function",

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.constants import NUMERICAL_APERTURE, WAVELENGTH_NM
 from repro.errors import LithoError
+from repro.litho.fft import FFTBackend, resolve_fft_backend
 from repro.litho.source import SourceSpec
 from repro.litho.tcc import build_tcc, socs_kernels
 
@@ -54,6 +55,12 @@ class OpticalKernelSet:
             (:mod:`repro.litho.spectral`).
         fft_cache_capacity: Maximum number of distinct grid shapes whose
             kernel FFTs are kept resident (least-recently-used eviction).
+        fft_backend: Transform library (see :mod:`repro.litho.fft`);
+            ``"auto"`` picks threaded scipy on multi-core hosts and numpy
+            otherwise.  Both convolution paths share the one backend, so
+            batch-vs-single parity is bit-for-bit whichever is chosen.
+        fft_workers: Thread count for the scipy backend (``None`` = all
+            cores).
     """
 
     weights: np.ndarray
@@ -62,6 +69,8 @@ class OpticalKernelSet:
     defocus_nm: float
     cutoff_per_nm: float | None = None
     fft_cache_capacity: int = 6
+    fft_backend: str = "auto"
+    fft_workers: int | None = None
     _fft_cache: "OrderedDict[tuple[int, int], np.ndarray]" = field(
         default_factory=OrderedDict, repr=False
     )
@@ -75,6 +84,13 @@ class OpticalKernelSet:
             raise LithoError(
                 f"fft_cache_capacity must be >= 1, got {self.fft_cache_capacity}"
             )
+        # Resolve eagerly so a bad backend name fails at construction.
+        resolve_fft_backend(self.fft_backend, self.fft_workers)
+
+    @property
+    def fft(self) -> FFTBackend:
+        """The resolved transform backend shared by every entry point."""
+        return resolve_fft_backend(self.fft_backend, self.fft_workers)
 
     @property
     def count(self) -> int:
@@ -97,10 +113,11 @@ class OpticalKernelSet:
                 f"mask {mask.shape} smaller than kernel ambit {self.ambit_px}"
             )
         kernel_ffts = self._kernel_ffts(mask.shape)
-        mask_fft = np.fft.fft2(mask.astype(np.float64))
+        fft = self.fft
+        mask_fft = fft.fft2(mask.astype(np.float64), axes=(-2, -1))
         intensity = np.zeros(mask.shape, dtype=np.float64)
         for weight, kernel_fft in zip(self.weights, kernel_ffts):
-            field_k = np.fft.ifft2(mask_fft * kernel_fft)
+            field_k = fft.ifft2(mask_fft * kernel_fft, axes=(-2, -1))
             intensity += weight * (field_k.real**2 + field_k.imag**2)
         return intensity
 
@@ -129,7 +146,7 @@ class OpticalKernelSet:
         and the same per-kernel accumulation order).
         """
         stack = self.validate_mask_batch(masks)
-        mask_ffts = np.fft.fft2(stack, axes=(-2, -1))
+        mask_ffts = self.fft.fft2(stack, axes=(-2, -1))
         return self.intensity_from_mask_ffts(mask_ffts)
 
     def intensity_from_mask_ffts(self, mask_ffts: np.ndarray) -> np.ndarray:
@@ -145,13 +162,24 @@ class OpticalKernelSet:
                 f"mask spectra must be 3-D (B, H, W), got shape {mask_ffts.shape}"
             )
         kernel_ffts = self.kernel_spectra(mask_ffts.shape[-2:])
+        fft = self.fft
         intensity = np.zeros(mask_ffts.shape, dtype=np.float64)
+        if fft.name == "scipy" and fft.workers > 1 and mask_ffts.shape[0] > 1:
+            # Threaded backend: one (B, H, W) inverse transform per kernel
+            # lets the workers split the batch axis.
+            for weight, kernel_fft in zip(self.weights, kernel_ffts):
+                field_k = fft.ifft2(mask_ffts * kernel_fft, axes=(-2, -1))
+                term = field_k.real**2
+                term += field_k.imag**2
+                term *= weight
+                intensity += term
+            return intensity
         # Per-mask inner loop: 2-D transforms on contiguous slices are
         # faster than one (B, H, W) batched transform on a single core
         # (smaller working set) and bit-for-bit identical to it.
         for mask_fft, out in zip(mask_ffts, intensity):
             for weight, kernel_fft in zip(self.weights, kernel_ffts):
-                field_k = np.fft.ifft2(mask_fft * kernel_fft)
+                field_k = fft.ifft2(mask_fft * kernel_fft, axes=(-2, -1))
                 term = field_k.real**2
                 term += field_k.imag**2
                 term *= weight
@@ -169,7 +197,7 @@ class OpticalKernelSet:
                 f"mask spectrum must be 2-D, got shape {mask_fft.shape}"
             )
         kernel_ffts = self.kernel_spectra(mask_fft.shape)
-        return np.fft.ifft2(mask_fft[None] * kernel_ffts, axes=(-2, -1))
+        return self.fft.ifft2(mask_fft[None] * kernel_ffts, axes=(-2, -1))
 
     def kernel_spectra(self, shape: tuple[int, int]) -> np.ndarray:
         """Cached ``(K, H, W)`` kernel FFTs for a grid shape (read-only)."""
@@ -192,7 +220,7 @@ class OpticalKernelSet:
             padded[:c, :c] = self.kernels[k]
             # Centre the kernel on pixel (0, 0) for circular convolution.
             padded = np.roll(padded, (-half, -half), axis=(0, 1))
-            stack[k] = np.fft.fft2(padded)
+            stack[k] = self.fft.fft2(padded, axes=(-2, -1))
         self._fft_cache[shape] = stack
         while len(self._fft_cache) > self.fft_cache_capacity:
             self._fft_cache.popitem(last=False)
@@ -238,6 +266,8 @@ def build_kernel_set(
     energy_fraction: float = 0.995,
     wavelength_nm: float = WAVELENGTH_NM,
     numerical_aperture: float = NUMERICAL_APERTURE,
+    fft_backend: str = "auto",
+    fft_workers: int | None = None,
 ) -> OpticalKernelSet:
     """Build (and cache) an :class:`OpticalKernelSet` for one focus setting.
 
@@ -275,4 +305,6 @@ def build_kernel_set(
         defocus_nm=defocus_nm,
         cutoff_per_nm=(1.0 + source.sigma_out) * numerical_aperture
         / wavelength_nm,
+        fft_backend=fft_backend,
+        fft_workers=fft_workers,
     )

@@ -34,6 +34,33 @@ error, intended for ranking candidate masks — never for reported
 metrology.  Kernel FFTs live in a bounded per-shape LRU on each
 :class:`~repro.litho.kernels.OpticalKernelSet`, shared by both paths and
 by every batch shape on the same grid.
+
+FFT backend
+-----------
+
+Every forward/inverse transform (both engines, both modes) runs through
+the pluggable backend of :mod:`repro.litho.fft`, selected by
+``LithoConfig.fft_backend``: ``"numpy"`` (single-threaded, the backend
+the committed goldens were generated with), ``"scipy"`` (threaded via
+``workers=``, ~1e-12 from numpy — inside the 1e-9 golden tolerance but
+not bit-for-bit), or ``"auto"`` (scipy with threads on multi-core hosts
+when scipy is importable, numpy otherwise).  Batch-vs-single parity is
+bit-for-bit under any one backend because both paths share it.
+
+Batched metrology contract
+--------------------------
+
+Downstream measurement mirrors the litho batching: one
+``simulate_batch`` call is followed by one batched metrology call.
+:func:`repro.metrology.epe.measure_epe_batch` /
+:func:`~repro.metrology.epe.segment_epe_batch` resolve every ``(B,
+n_points)`` contour profile in a single vectorized pass and are
+bit-for-bit equal to mapping :func:`~repro.metrology.epe.measure_epe` /
+:func:`~repro.metrology.epe.segment_epe` over the batch;
+:func:`~repro.metrology.pvband.pvband_area_batch` does the same for PV
+bands.  ``OPCEnvironment.evaluate_batch`` / ``step_batch``, population
+RL training, and the suite verifier (:mod:`repro.eval.runner`) all
+follow this two-call pattern.
 """
 
 from __future__ import annotations
@@ -54,6 +81,7 @@ from repro.geometry.layout import Clip
 from repro.geometry.mask_edit import MaskState
 from repro.geometry.polygon import Polygon
 from repro.geometry.raster import Grid, rasterize
+from repro.litho.fft import resolve_fft_backend
 from repro.litho.kernels import OpticalKernelSet, build_kernel_set
 from repro.litho.process import ProcessCorner, standard_corners
 from repro.litho.resist import printed_image
@@ -74,12 +102,18 @@ class LithoConfig:
     ambit_nm: float = 512.0
     max_kernels: int = 12
     energy_fraction: float = 0.995
+    fft_backend: str = "auto"
+    """Transform library for every FFT in the simulate path: ``"numpy"``,
+    ``"scipy"`` (threaded) or ``"auto"`` (see :mod:`repro.litho.fft`)."""
+    fft_workers: int | None = None
+    """Thread count for the scipy backend; ``None`` uses every core."""
 
     def __post_init__(self) -> None:
         if self.pixel_nm <= 0:
             raise LithoError("pixel_nm must be positive")
         if self.ambit_nm > self.period_nm:
             raise LithoError("kernel ambit cannot exceed the lattice period")
+        resolve_fft_backend(self.fft_backend, self.fft_workers)
 
 
 @dataclass
@@ -128,6 +162,8 @@ class LithographySimulator:
                 ambit_nm=cfg.ambit_nm,
                 max_kernels=cfg.max_kernels,
                 energy_fraction=cfg.energy_fraction,
+                fft_backend=cfg.fft_backend,
+                fft_workers=cfg.fft_workers,
             )
         return self._kernel_sets[defocus_nm]
 
@@ -217,7 +253,7 @@ class LithographySimulator:
                 f"mask batch shape {stack.shape[1:]} does not match grid "
                 f"{grid.shape}"
             )
-        mask_ffts = np.fft.fft2(stack, axes=(-2, -1))
+        mask_ffts = focus_set.fft.fft2(stack, axes=(-2, -1))
         if mode == "spectral":
             aerial_focus = self.spectral_convolver(
                 nominal.defocus_nm

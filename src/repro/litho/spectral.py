@@ -165,7 +165,7 @@ class SpectralConvolver:
         stack = self.kernel_set.validate_mask_batch(masks)
         if not self.plan(stack.shape[1:]).effective:
             return self.kernel_set.convolve_intensity_batch(stack)
-        mask_ffts = np.fft.fft2(stack, axes=(-2, -1))
+        mask_ffts = self.kernel_set.fft.fft2(stack, axes=(-2, -1))
         return self.intensity_from_mask_ffts(mask_ffts)
 
     def intensity_from_mask_ffts(self, mask_ffts: np.ndarray) -> np.ndarray:
@@ -180,6 +180,7 @@ class SpectralConvolver:
             return self.kernel_set.intensity_from_mask_ffts(mask_ffts)
         batch = mask_ffts.shape[0]
         m0, m1 = plan.subgrid
+        fft = self.kernel_set.fft
         sub = np.zeros((batch, m0, m1), dtype=np.complex128)
         sub[:, plan.rows_dst[:, None], plan.cols_dst[None, :]] = mask_ffts[
             :, plan.rows_src[:, None], plan.cols_src[None, :]
@@ -188,14 +189,14 @@ class SpectralConvolver:
         for weight, kernel_sub in zip(
             self.kernel_set.weights, plan.kernel_sub_spectra
         ):
-            field_k = np.fft.ifft2(sub * kernel_sub, axes=(-2, -1))
+            field_k = fft.ifft2(sub * kernel_sub, axes=(-2, -1))
             intensity += weight * (field_k.real**2 + field_k.imag**2)
         # Exact zero-padded FFT resampling of the (band-limited) intensity.
-        spectrum = np.fft.fft2(intensity, axes=(-2, -1))
+        spectrum = fft.fft2(intensity, axes=(-2, -1))
         upscale = (rows * cols) / (m0 * m1)
         full = np.zeros((batch, rows, cols), dtype=np.complex128)
         full[:, plan.up_rows_dst[:, None], plan.up_cols_dst[None, :]] = (
             spectrum[:, plan.up_rows_src[:, None], plan.up_cols_src[None, :]]
             * upscale
         )
-        return np.fft.ifft2(full, axes=(-2, -1)).real
+        return fft.ifft2(full, axes=(-2, -1)).real

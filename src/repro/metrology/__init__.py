@@ -5,21 +5,43 @@ modulator discussion in the paper): **positive EPE means the printed
 contour lies outside the target edge** (intensity overflow — the segment
 should move inward), negative EPE means the contour is inside (lack of
 intensity — move outward).
+
+Every measurement has a batched companion (``*_batch`` for ``(B, H, W)``
+stacks sharing one clip, :func:`measure_epe_grouped` for heterogeneous
+groups) that resolves all profiles in one vectorized pass and is
+bit-for-bit equal to mapping the scalar entry point over the stack, so
+one batched lithography call can be followed by one batched metrology
+call.
 """
 
-from repro.metrology.contour import contour_offset_along_normal
+from repro.metrology.contour import (
+    contour_offset_along_normal,
+    contour_offset_along_normal_batch,
+    contour_offset_reference,
+    contour_offsets_grouped,
+)
 from repro.metrology.epe import (
     EPEReport,
     measure_epe,
+    measure_epe_batch,
+    measure_epe_grouped,
     segment_epe,
+    segment_epe_batch,
 )
-from repro.metrology.pvband import pvband_area, pvband_image
+from repro.metrology.pvband import pvband_area, pvband_area_batch, pvband_image
 
 __all__ = [
     "contour_offset_along_normal",
+    "contour_offset_along_normal_batch",
+    "contour_offset_reference",
+    "contour_offsets_grouped",
     "EPEReport",
     "measure_epe",
+    "measure_epe_batch",
+    "measure_epe_grouped",
     "segment_epe",
+    "segment_epe_batch",
     "pvband_area",
+    "pvband_area_batch",
     "pvband_image",
 ]

@@ -17,7 +17,11 @@ import numpy as np
 
 from repro.geometry.raster import Grid
 from repro.geometry.segmentation import Segment
-from repro.metrology.contour import contour_offset_along_normal
+from repro.metrology.contour import (
+    contour_offset_along_normal,
+    contour_offset_along_normal_batch,
+    contour_offsets_grouped,
+)
 
 
 @dataclass(frozen=True)
@@ -50,6 +54,24 @@ class EPEReport:
         return int((np.abs(self.values) >= limit_nm).sum())
 
 
+def _measured_points(
+    segments: list[Segment],
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(n, 2)`` measure points and normals of the measured segments.
+
+    The one extraction rule shared by every measure-point entry point,
+    so the scalar/batched/grouped paths can never filter differently.
+    """
+    measured = [s for s in segments if s.measure_point is not None]
+    points = np.asarray(
+        [s.measure_point for s in measured], dtype=np.float64
+    ).reshape(len(measured), 2)
+    normals = np.asarray(
+        [s.normal for s in measured], dtype=np.float64
+    ).reshape(len(measured), 2)
+    return points, normals
+
+
 def measure_epe(
     aerial: np.ndarray,
     grid: Grid,
@@ -59,15 +81,37 @@ def measure_epe(
     step_nm: float = 1.0,
 ) -> EPEReport:
     """EPE at every segment that owns a measure point."""
-    measured = [s for s in segments if s.measure_point is not None]
-    if not measured:
+    points, normals = _measured_points(segments)
+    if not len(points):
         return EPEReport(values=np.zeros(0))
-    points = np.asarray([s.measure_point for s in measured], dtype=np.float64)
-    normals = np.asarray([s.normal for s in measured], dtype=np.float64)
     values = contour_offset_along_normal(
         aerial, grid, points, normals, threshold, search_nm, step_nm
     )
     return EPEReport(values=values)
+
+
+def measure_epe_batch(
+    aerials: np.ndarray,
+    grid: Grid,
+    segments: list[Segment],
+    threshold: float,
+    search_nm: float = 40.0,
+    step_nm: float = 1.0,
+) -> list[EPEReport]:
+    """Measure-point EPE of ``(B, H, W)`` aerials sharing one clip.
+
+    The batched companion of :func:`measure_epe`: all ``B * n`` contour
+    profiles resolve in one vectorized pass, bit-for-bit equal to mapping
+    :func:`measure_epe` over the stack.  This is what
+    ``OPCEnvironment.evaluate_batch`` pairs with one batched litho call.
+    """
+    points, normals = _measured_points(segments)
+    if not len(points):
+        return [EPEReport(values=np.zeros(0)) for _ in range(len(aerials))]
+    values = contour_offset_along_normal_batch(
+        aerials, grid, points, normals, threshold, search_nm, step_nm
+    )
+    return [EPEReport(values=row) for row in values]
 
 
 def segment_epe(
@@ -91,3 +135,49 @@ def segment_epe(
     return contour_offset_along_normal(
         aerial, grid, points, normals, threshold, search_nm, step_nm
     )
+
+
+def segment_epe_batch(
+    aerials: np.ndarray,
+    grid: Grid,
+    segments: list[Segment],
+    threshold: float,
+    search_nm: float = 40.0,
+    step_nm: float = 1.0,
+) -> np.ndarray:
+    """Control-point EPE of ``(B, H, W)`` aerials sharing one clip.
+
+    Returns ``(B, n_segments)`` signed offsets, bit-for-bit equal to
+    mapping :func:`segment_epe` over the stack.
+    """
+    if not segments:
+        return np.zeros((len(aerials), 0))
+    points = np.asarray([s.control for s in segments], dtype=np.float64)
+    normals = np.asarray([s.normal for s in segments], dtype=np.float64)
+    return contour_offset_along_normal_batch(
+        aerials, grid, points, normals, threshold, search_nm, step_nm
+    )
+
+
+def measure_epe_grouped(
+    aerials: np.ndarray,
+    grids: list[Grid],
+    segments_list: list[list[Segment]],
+    threshold: float,
+    search_nm: float = 40.0,
+    step_nm: float = 1.0,
+) -> list[EPEReport]:
+    """Measure-point EPE for heterogeneous (aerial, grid, segments) items.
+
+    The suite verifier's entry point: clips grouped by grid *shape* still
+    differ in geometry, so each item carries its own grid and segments.
+    All profiles resolve in one vectorized pass
+    (:func:`~repro.metrology.contour.contour_offsets_grouped`).
+    """
+    extracted = [_measured_points(segments) for segments in segments_list]
+    points_list = [points for points, _ in extracted]
+    normals_list = [normals for _, normals in extracted]
+    values = contour_offsets_grouped(
+        aerials, grids, points_list, normals_list, threshold, search_nm, step_nm
+    )
+    return [EPEReport(values=row) for row in values]

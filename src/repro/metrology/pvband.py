@@ -28,3 +28,23 @@ def pvband_area(inner: np.ndarray, outer: np.ndarray, pixel_nm: float) -> float:
     if pixel_nm <= 0:
         raise MetrologyError(f"pixel_nm must be positive, got {pixel_nm}")
     return float(pvband_image(inner, outer).sum()) * pixel_nm * pixel_nm
+
+
+def pvband_area_batch(
+    inner: np.ndarray, outer: np.ndarray, pixel_nm: float
+) -> np.ndarray:
+    """PV-band areas (nm^2) of ``(B, H, W)`` corner-image stacks.
+
+    Bit-for-bit equal to mapping :func:`pvband_area` over the stacks.
+    """
+    if pixel_nm <= 0:
+        raise MetrologyError(f"pixel_nm must be positive, got {pixel_nm}")
+    inner_arr = np.asarray(inner, dtype=bool)
+    outer_arr = np.asarray(outer, dtype=bool)
+    if inner_arr.ndim != 3 or inner_arr.shape != outer_arr.shape:
+        raise MetrologyError(
+            f"corner stacks must be matching (B, H, W) arrays, got "
+            f"{inner_arr.shape} vs {outer_arr.shape}"
+        )
+    counts = (inner_arr ^ outer_arr).sum(axis=(1, 2)).astype(np.float64)
+    return counts * pixel_nm * pixel_nm

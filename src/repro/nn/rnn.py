@@ -59,7 +59,9 @@ class ElmanRNN(Module):
         return [Tensor(np.zeros((1, self.hidden_size))) for _ in range(self.num_layers)]
 
     def step(self, x: Tensor, state: list[Tensor]) -> tuple[Tensor, list[Tensor]]:
-        """One time step.  ``x`` is ``(1, input_size)``."""
+        """One time step.  ``x`` is ``(batch, input_size)`` — every matmul
+        broadcasts over the batch axis, so one call advances any number of
+        independent sequences."""
         if len(state) != self.num_layers:
             raise NNError(f"state has {len(state)} layers, expected {self.num_layers}")
         new_state: list[Tensor] = []
@@ -85,3 +87,25 @@ class ElmanRNN(Module):
             out, state = self.step(sequence[t : t + 1], state)
             outputs.append(out)
         return F.concat(outputs, axis=0)
+
+    def forward_batch(self, sequences: Tensor) -> Tensor:
+        """Process ``(seq_len, batch, input_size)`` independent sequences.
+
+        The recurrence runs once over time with a ``(batch, hidden)``
+        state, so P sequences cost ``seq_len`` graph steps instead of
+        ``P * seq_len``.  The hidden state never mixes columns; each
+        column evolves as :meth:`forward` would evolve it alone, up to
+        a few ulps of batched-matmul summation-order difference.
+        Returns ``(seq_len, batch, hidden)``.
+        """
+        if sequences.ndim != 3 or sequences.shape[2] != self.input_size:
+            raise NNError(
+                f"expected (seq, batch, {self.input_size}) input, "
+                f"got {sequences.shape}"
+            )
+        state = self.initial_state()
+        outputs: list[Tensor] = []
+        for t in range(sequences.shape[0]):
+            out, state = self.step(sequences[t], state)
+            outputs.append(out)
+        return F.stack(outputs, axis=0)

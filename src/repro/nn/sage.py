@@ -52,16 +52,19 @@ class GraphSAGEConv(Module):
         self.bias = Parameter(init.zeros((out_features,)))
 
     def forward(self, x: Tensor, adjacency: np.ndarray) -> Tensor:
-        """``x`` is ``(n_nodes, in_features)``; adjacency from
+        """``x`` is ``(n_nodes, in_features)`` — or ``(batch, n_nodes,
+        in_features)`` for a population of independent graph copies, all
+        sharing ``adjacency`` (the matmul broadcasts over the leading
+        axis, so no cross-population edges exist).  Adjacency comes from
         :func:`mean_adjacency` (constant w.r.t. the graph)."""
-        if x.ndim != 2 or x.shape[1] != self.in_features:
+        if x.ndim not in (2, 3) or x.shape[-1] != self.in_features:
             raise NNError(
-                f"expected (n, {self.in_features}) input, got {x.shape}"
+                f"expected (..., n, {self.in_features}) input, got {x.shape}"
             )
-        if adjacency.shape != (x.shape[0], x.shape[0]):
+        if adjacency.shape != (x.shape[-2], x.shape[-2]):
             raise NNError(
-                f"adjacency {adjacency.shape} does not match {x.shape[0]} nodes"
+                f"adjacency {adjacency.shape} does not match {x.shape[-2]} nodes"
             )
         aggregated = Tensor(adjacency) @ x
-        combined = F.concat([x, aggregated], axis=1)
+        combined = F.concat([x, aggregated], axis=-1)
         return F.relu(combined @ self.weight.T + self.bias)

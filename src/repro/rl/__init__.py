@@ -9,8 +9,17 @@ provides the paper's phase-1 "mimic another OPC engine" training.
 from repro.rl.env import EnvState, OPCEnvironment
 from repro.rl.reward import compute_reward
 from repro.rl.trajectory import Trajectory, TrajectoryStep, discounted_returns
-from repro.rl.reinforce import policy_gradient_step, select_log_probs
-from repro.rl.imitation import collect_teacher_actions, greedy_teacher_actions
+from repro.rl.reinforce import (
+    policy_gradient_step,
+    population_gradient_step,
+    select_log_probs,
+    select_log_probs_population,
+)
+from repro.rl.imitation import (
+    collect_teacher_actions,
+    collect_teacher_actions_population,
+    greedy_teacher_actions,
+)
 
 __all__ = [
     "EnvState",
@@ -20,7 +29,10 @@ __all__ = [
     "TrajectoryStep",
     "discounted_returns",
     "policy_gradient_step",
+    "population_gradient_step",
     "select_log_probs",
+    "select_log_probs_population",
     "collect_teacher_actions",
+    "collect_teacher_actions_population",
     "greedy_teacher_actions",
 ]

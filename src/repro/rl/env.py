@@ -32,8 +32,14 @@ from repro.geometry.mask_edit import MaskState
 from repro.geometry.raster import Grid, rasterize
 from repro.geometry.segmentation import Segment, fragment_clip
 from repro.litho.simulator import LithographySimulator, LithoResult
-from repro.metrology.epe import EPEReport, measure_epe, segment_epe
-from repro.metrology.pvband import pvband_area
+from repro.metrology.epe import (
+    EPEReport,
+    measure_epe,
+    measure_epe_batch,
+    segment_epe,
+    segment_epe_batch,
+)
+from repro.metrology.pvband import pvband_area, pvband_area_batch
 from repro.rl.reward import compute_reward
 
 
@@ -102,6 +108,34 @@ class OPCEnvironment:
         pvb = pvband_area(litho.inner, litho.outer, self.grid.pixel_nm)
         return EnvState(mask=mask, litho=litho, epe=epe, seg_epe=seg, pvband=pvb)
 
+    def _metrology_batch(
+        self, masks: Sequence[MaskState], lithos: list[LithoResult]
+    ) -> list[EnvState]:
+        """Batched metrology: one vectorized EPE/PV-band pass for all B
+        lithography results, bit-for-bit equal to mapping
+        :meth:`_metrology` over them."""
+        threshold = self.simulator.config.threshold
+        aerials = np.stack([litho.aerial for litho in lithos])
+        reports = measure_epe_batch(
+            aerials, self.grid, self.segments, threshold,
+            search_nm=self.epe_search_nm,
+        )
+        segs = segment_epe_batch(
+            aerials, self.grid, self.segments, threshold,
+            search_nm=self.epe_search_nm,
+        )
+        pvbs = pvband_area_batch(
+            np.stack([litho.inner for litho in lithos]),
+            np.stack([litho.outer for litho in lithos]),
+            self.grid.pixel_nm,
+        )
+        return [
+            EnvState(mask=mask, litho=litho, epe=epe, seg_epe=seg, pvband=float(pvb))
+            for mask, litho, epe, seg, pvb in zip(
+                masks, lithos, reports, segs, pvbs
+            )
+        ]
+
     def evaluate(self, mask: MaskState) -> EnvState:
         """Run lithography + metrology for a mask state."""
         return self._metrology(mask, self.simulator.simulate_state(mask, self.grid))
@@ -109,7 +143,8 @@ class OPCEnvironment:
     def evaluate_batch(
         self, masks: Sequence[MaskState], mode: str = "exact"
     ) -> list[EnvState]:
-        """Evaluate several mask states through one batched litho call.
+        """Evaluate several mask states: one batched litho call followed
+        by one batched metrology call.
 
         Results are bit-for-bit identical to mapping :meth:`evaluate`
         over ``masks`` (``mode="exact"``); ``mode="spectral"`` uses the
@@ -121,9 +156,7 @@ class OPCEnvironment:
             [rasterize(mask.mask_polygons(), self.grid) for mask in masks]
         )
         results = self.simulator.simulate_batch(images, self.grid, mode=mode)
-        return [
-            self._metrology(mask, litho) for mask, litho in zip(masks, results)
-        ]
+        return self._metrology_batch(masks, results)
 
     def reset(self, bias_nm: float | None = None) -> EnvState:
         """Initial state; ``bias_nm`` overrides the configured initial bias
@@ -171,6 +204,38 @@ class OPCEnvironment:
         next_state = self.evaluate(state.mask.moved(deltas))
         return next_state, self._reward(state, next_state)
 
+    def step_batch(
+        self,
+        states: Sequence[EnvState],
+        action_indices: np.ndarray,
+        mode: str = "exact",
+    ) -> list[tuple[EnvState, float]]:
+        """Advance P states by one action vector each, in lockstep.
+
+        ``action_indices`` is ``(P, n_segments)``; row ``p`` is applied to
+        ``states[p]``.  One batched litho call plus one batched metrology
+        call cover the whole population, and every ``(next_state,
+        reward)`` pair is bit-for-bit identical to :meth:`step` on that
+        state alone (``mode="exact"``).  This is the transition primitive
+        of population-based training and lockstep teacher rollouts.
+        """
+        actions = np.asarray(action_indices)
+        if actions.ndim != 2 or actions.shape[0] != len(states) or not len(states):
+            raise RLError(
+                f"expected ({len(states)}, {self.n_segments}) actions, "
+                f"got shape {actions.shape}"
+            )
+        self._validate_actions(actions)
+        move_set = np.asarray(MOVE_SET_NM, dtype=np.float64)
+        masks = [
+            state.mask.moved(move_set[row]) for state, row in zip(states, actions)
+        ]
+        next_states = self.evaluate_batch(masks, mode=mode)
+        return [
+            (nxt, self._reward(state, nxt))
+            for state, nxt in zip(states, next_states)
+        ]
+
     # -- batched candidate scoring ----------------------------------------------
     def uniform_move_candidates(self) -> np.ndarray:
         """``(n_actions, n_segments)`` matrix: candidate a moves *every*
@@ -198,8 +263,4 @@ class OPCEnvironment:
                 "candidate actions must be a non-empty (A, n_segments) "
                 f"matrix, got shape {candidates.shape}"
             )
-        self._validate_actions(candidates)
-        move_set = np.asarray(MOVE_SET_NM, dtype=np.float64)
-        masks = [state.mask.moved(move_set[row]) for row in candidates]
-        next_states = self.evaluate_batch(masks, mode=mode)
-        return [(nxt, self._reward(state, nxt)) for nxt in next_states]
+        return self.step_batch([state] * len(candidates), candidates, mode=mode)

@@ -75,3 +75,37 @@ def collect_teacher_actions(
         samples.append((state, actions, reward))
         state = next_state
     return samples
+
+
+def collect_teacher_actions_population(
+    env: OPCEnvironment,
+    steps: int,
+    teacher: TeacherPolicy = greedy_teacher_actions,
+    initial_states: list[EnvState] | None = None,
+) -> list[list[tuple[EnvState, np.ndarray, float]]]:
+    """Roll P teacher trajectories in lockstep.
+
+    Each step evaluates the whole population through one batched litho +
+    metrology call (:meth:`~repro.rl.env.OPCEnvironment.step_batch`), so
+    collecting the imitation corpus costs ``steps`` batched evaluations
+    instead of ``P * steps`` sequential ones.  Trajectory ``p`` of the
+    result is bit-for-bit identical to
+    :func:`collect_teacher_actions(env, steps, teacher, initial_states[p])
+    <collect_teacher_actions>` because the batched transition itself is
+    bit-for-bit equal to :meth:`~repro.rl.env.OPCEnvironment.step`.
+    """
+    if steps < 1:
+        raise RLError(f"need at least one step, got {steps}")
+    states = [env.reset()] if initial_states is None else list(initial_states)
+    if not states:
+        raise RLError("need at least one initial state")
+    samples: list[list[tuple[EnvState, np.ndarray, float]]] = [
+        [] for _ in states
+    ]
+    for _ in range(steps):
+        actions = np.stack([np.asarray(teacher(state)) for state in states])
+        stepped = env.step_batch(states, actions)
+        for p, (next_state, reward) in enumerate(stepped):
+            samples[p].append((states[p], actions[p], reward))
+        states = [next_state for next_state, _ in stepped]
+    return samples

@@ -37,6 +37,32 @@ def select_log_probs(logits: Tensor, actions: np.ndarray) -> Tensor:
     return logp[np.arange(len(actions)), actions].sum()
 
 
+def select_log_probs_population(logits: Tensor, actions: np.ndarray) -> Tensor:
+    """Per-trajectory joint log-probabilities for a population.
+
+    Args:
+        logits: ``(P, n_segments, n_actions)`` unmodulated policy outputs
+            (one row per population member, e.g. from
+            ``CamoPolicy.forward_population``).
+        actions: ``(P, n_segments)`` chosen action indices.
+
+    Returns:
+        ``(P,)`` tensor; entry ``p`` equals what :func:`select_log_probs`
+        returns for ``(logits[p], actions[p])``.
+    """
+    actions = np.asarray(actions)
+    if logits.ndim != 3 or actions.shape != logits.shape[:2]:
+        raise RLError(
+            f"logits {logits.shape} incompatible with actions {actions.shape}"
+        )
+    logp = log_softmax(logits, axis=-1)
+    population, n = actions.shape
+    picked = logp[
+        np.arange(population)[:, None], np.arange(n)[None, :], actions
+    ]
+    return picked.sum(axis=1)
+
+
 def policy_gradient_step(
     optimizer: Optimizer,
     log_prob: Tensor,
@@ -46,6 +72,34 @@ def policy_gradient_step(
     """One Eq. 7 ascent step; returns the pre-clip gradient norm."""
     optimizer.zero_grad()
     loss = log_prob * (-float(reward))  # ascend reward = descend -r*logp
+    loss.backward()
+    norm = optimizer.clip_grad_norm(max_grad_norm)
+    optimizer.step()
+    return norm
+
+
+def population_gradient_step(
+    optimizer: Optimizer,
+    log_probs: Tensor,
+    advantages: np.ndarray,
+    max_grad_norm: float = 10.0,
+) -> float:
+    """One *accumulated* Eq. 7 step over a population of trajectories.
+
+    Ascends the advantage-weighted mean ``(1/P) sum_p A_p log pi(a_p)``:
+    one backward pass and one optimizer update replace P sequential
+    steps.  The mean (not sum) keeps the step magnitude comparable across
+    population sizes, so the learning rate need not be retuned with P.
+    Returns the pre-clip gradient norm.
+    """
+    advantages = np.asarray(advantages, dtype=np.float64)
+    if log_probs.ndim != 1 or advantages.shape != log_probs.shape:
+        raise RLError(
+            f"log_probs {log_probs.shape} incompatible with advantages "
+            f"{advantages.shape}"
+        )
+    optimizer.zero_grad()
+    loss = (log_probs * Tensor(-advantages / len(advantages))).sum()
     loss.backward()
     norm = optimizer.clip_grad_norm(max_grad_norm)
     optimizer.step()

@@ -179,3 +179,102 @@ class TestAgent:
         agent = CAMO(CamoConfig.smoke(), simulator)
         assert agent._gain(0) == 1.0
         assert agent._gain(5) < 1.0
+
+    def test_sample_actions_clips_rounding_overflow(self, simulator):
+        """cumsum of a distribution can end below 1.0 by a few ulps; a
+        draw landing above it must clip to the last action instead of
+        indexing past MOVE_SET_NM."""
+        agent = CAMO(CamoConfig.smoke(), simulator)
+        short = np.full((3, 5), 0.2) - 1e-12  # cumulative[-1] < 1.0
+
+        class AlwaysOne:
+            def random(self, shape):
+                return np.ones(shape)
+
+        agent.rng = AlwaysOne()
+        actions = agent._sample_actions(short)
+        assert np.all(actions == 4)
+
+    def test_sample_actions_follows_distribution(self, simulator):
+        agent = CAMO(CamoConfig.smoke(), simulator)
+        one_hot = np.zeros((4, 5))
+        one_hot[np.arange(4), [0, 2, 3, 4]] = 1.0
+        assert np.array_equal(
+            agent._sample_actions(one_hot), np.array([0, 2, 3, 4])
+        )
+
+
+class TestPopulationTraining:
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            CamoConfig(rl_population=0)
+        with pytest.raises(ConfigError):
+            CamoConfig(rl_eval_mode="approximate")
+
+    def test_forward_population_matches_single(self, simulator, clip):
+        """Each population row must equal the single-state forward on
+        that state (batched graph, no row mixing)."""
+        from repro.nn.tensor import no_grad
+
+        agent = CAMO(CamoConfig.smoke(), simulator)
+        ctx = agent.context(clip)
+        state_a = ctx.env.reset()
+        state_b = ctx.env.evaluate(
+            state_a.mask.moved(np.full(ctx.env.n_segments, 2.0))
+        )
+        feats = np.stack(
+            [agent.encoder.encode_all(s.mask) for s in (state_a, state_b)]
+        )
+        with no_grad():
+            pop = agent.policy.forward_population(
+                feats, ctx.adjacency, ctx.order
+            ).numpy()
+            singles = [
+                agent.policy(f, ctx.adjacency, ctx.order).numpy()
+                for f in feats
+            ]
+        assert pop.shape == (2, ctx.env.n_segments, 5)
+        for row, single in zip(pop, singles):
+            assert np.allclose(row, single, atol=1e-12)
+
+    def test_forward_population_validates_shape(self, simulator, clip):
+        agent = CAMO(CamoConfig.smoke(), simulator)
+        ctx = agent.context(clip)
+        with pytest.raises(NNError):
+            agent.policy.forward_population(
+                np.zeros((2, 3)), ctx.adjacency, ctx.order
+            )
+
+    @pytest.mark.parametrize("eval_mode", ["exact", "spectral"])
+    def test_population_training_runs(self, simulator, clip, eval_mode):
+        config = CamoConfig.smoke(
+            rl_population=3,
+            rl_eval_mode=eval_mode,
+            imitation_epochs=1,
+            rl_epochs=2,
+            max_updates=2,
+        )
+        agent = CAMO(config, simulator)
+        history = agent.train([clip])
+        assert len(history["rl_reward"]) == 2
+        assert all(np.isfinite(r) for r in history["rl_reward"])
+
+    def test_population_one_uses_sequential_loop(self, simulator, clip):
+        """rl_population=1 with exact evaluation must take the original
+        per-step loop — the bit-for-bit reproducibility path."""
+        config = CamoConfig.smoke(imitation_epochs=0, rl_epochs=1, max_updates=2)
+        agent = CAMO(config, simulator)
+        called = []
+        agent._train_rl_sequential = lambda *a, **k: called.append("seq")
+        agent._train_rl_population = lambda *a, **k: called.append("pop")
+        agent._train_rl([clip], {"rl_reward": []}, False)
+        assert called == ["seq"]
+
+    def test_spectral_mode_routes_to_population_loop(self, simulator, clip):
+        config = CamoConfig.smoke(rl_eval_mode="spectral")
+        agent = CAMO(config, simulator)
+        called = []
+        agent._train_rl_sequential = lambda *a, **k: called.append("seq")
+        agent._train_rl_population = lambda *a, **k: called.append("pop")
+        agent._train_rl([clip], {"rl_reward": []}, False)
+        assert called == ["pop"]

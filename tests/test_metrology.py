@@ -8,10 +8,17 @@ from repro.geometry import Clip, Grid, Polygon, Rect, fragment_clip, rasterize
 from repro.litho import LithoConfig, LithographySimulator
 from repro.metrology import (
     contour_offset_along_normal,
+    contour_offset_along_normal_batch,
+    contour_offset_reference,
+    contour_offsets_grouped,
     measure_epe,
+    measure_epe_batch,
+    measure_epe_grouped,
     pvband_area,
+    pvband_area_batch,
     pvband_image,
     segment_epe,
+    segment_epe_batch,
 )
 
 
@@ -92,6 +99,142 @@ class TestContourOffset:
                 search_nm=-1,
             )
 
+    def test_crossing_exactly_at_sample(self):
+        """A sample that equals the threshold is 'printed' there, so the
+        crossing interpolates to exactly that sample's offset."""
+        g = Grid(0, 0, 1.0, 64, 64)
+        xs = g.x_centers()
+        aerial = np.tile(1.0 - xs / 64.0, (64, 1))
+        # I(x) = 1 - x/64 = 0.5 exactly at x = 32; measure from x = 30.
+        points = np.array([[30.0, 32.0]])
+        normals = np.array([[1.0, 0.0]])
+        offset = contour_offset_along_normal(aerial, g, points, normals, 0.5)
+        reference = contour_offset_reference(aerial, g, points, normals, 0.5)
+        assert offset[0] == reference[0] == pytest.approx(2.0, abs=1e-12)
+
+    def test_flat_profile_at_threshold_clamps(self):
+        """An everywhere-at-threshold profile never falls below it, so
+        the outward walk finds no crossing and clamps to +search_nm."""
+        g = Grid(0, 0, 1.0, 32, 32)
+        aerial = np.full((32, 32), 0.5)
+        points = np.array([[16.0, 16.0], [10.0, 20.0]])
+        normals = np.array([[1.0, 0.0], [0.0, 1.0]])
+        offsets = contour_offset_along_normal(
+            aerial, g, points, normals, 0.5, search_nm=12
+        )
+        assert np.all(offsets == 12)
+        assert np.array_equal(
+            offsets,
+            contour_offset_reference(
+                aerial, g, points, normals, 0.5, search_nm=12
+            ),
+        )
+
+    def test_unprinted_feature_clamps_negative(self):
+        """Zero intensity everywhere: the inward walk never rises above
+        the threshold, so every point clamps to -search_nm (the
+        reference agrees bit-for-bit)."""
+        g = Grid(0, 0, 1.0, 32, 32)
+        aerial = np.zeros((32, 32))
+        points = np.array([[16.0, 16.0], [8.0, 24.0], [24.0, 8.0]])
+        normals = np.array([[1.0, 0.0], [0.0, 1.0], [-1.0, 0.0]])
+        offsets = contour_offset_along_normal(
+            aerial, g, points, normals, 0.5, search_nm=15
+        )
+        assert np.all(offsets == -15)
+        assert np.array_equal(
+            offsets,
+            contour_offset_reference(
+                aerial, g, points, normals, 0.5, search_nm=15
+            ),
+        )
+
+
+def _smooth_random_aerial(seed: int, n: int = 96) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    aerial = rng.random((n, n))
+    for _ in range(3):
+        aerial = (
+            aerial
+            + np.roll(aerial, 1, 0) + np.roll(aerial, -1, 0)
+            + np.roll(aerial, 1, 1) + np.roll(aerial, -1, 1)
+        ) / 5.0
+    return aerial
+
+
+class TestVectorizedParity:
+    """The vectorized resolver is the production path; the retained scalar
+    reference is its executable specification."""
+
+    GRID = Grid(0, 0, 2.0, 96, 96)
+
+    def _points(self, seed, count=64):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(10.0, 182.0, size=(count, 2))
+        angles = rng.uniform(0.0, 2.0 * np.pi, count)
+        normals = np.stack([np.cos(angles), np.sin(angles)], axis=1)
+        return points, normals
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("threshold", [0.3, 0.5, 0.7])
+    def test_bitwise_equal_to_reference_on_random_aerials(self, seed, threshold):
+        aerial = _smooth_random_aerial(seed)
+        points, normals = self._points(seed + 100)
+        vectorized = contour_offset_along_normal(
+            aerial, self.GRID, points, normals, threshold,
+            search_nm=30, step_nm=1.5,
+        )
+        reference = contour_offset_reference(
+            aerial, self.GRID, points, normals, threshold,
+            search_nm=30, step_nm=1.5,
+        )
+        assert np.array_equal(vectorized, reference)
+
+    def test_batch_matches_per_aerial(self):
+        aerials = np.stack([_smooth_random_aerial(s) for s in range(4)])
+        points, normals = self._points(7)
+        batched = contour_offset_along_normal_batch(
+            aerials, self.GRID, points, normals, 0.5
+        )
+        assert batched.shape == (4, len(points))
+        for aerial, row in zip(aerials, batched):
+            single = contour_offset_along_normal(
+                aerial, self.GRID, points, normals, 0.5
+            )
+            assert np.array_equal(row, single)
+
+    def test_grouped_matches_per_item(self):
+        aerials = np.stack([_smooth_random_aerial(s + 10) for s in range(3)])
+        groups = [self._points(s, count=8 * (s + 1)) for s in range(3)]
+        results = contour_offsets_grouped(
+            aerials,
+            [self.GRID] * 3,
+            [g[0] for g in groups],
+            [g[1] for g in groups],
+            0.5,
+        )
+        for aerial, (points, normals), row in zip(aerials, groups, results):
+            assert np.array_equal(
+                row,
+                contour_offset_along_normal(
+                    aerial, self.GRID, points, normals, 0.5
+                ),
+            )
+
+    def test_batch_validates_stack_shape(self):
+        points, normals = self._points(1, count=2)
+        with pytest.raises(MetrologyError):
+            contour_offset_along_normal_batch(
+                np.ones((8, 8)), self.GRID, points, normals, 0.5
+            )
+
+    def test_grouped_validates_lengths(self):
+        with pytest.raises(MetrologyError):
+            contour_offsets_grouped(
+                np.ones((2, 8, 8)), [self.GRID], [np.zeros((1, 2))],
+                [np.zeros((1, 2))], 0.5,
+            )
+
 
 class TestEPESign:
     """The paper's convention: undersized print -> negative EPE -> the
@@ -141,6 +284,63 @@ class TestEPESign:
         assert report.mean_abs == 0
 
 
+class TestBatchedEPE:
+    """Batched entry points vs mapping the scalar ones over the stack."""
+
+    def _aerials(self, sim, grid, sizes):
+        return np.stack(
+            [
+                sim.aerial(
+                    rasterize(
+                        [Polygon.from_rect(Rect.square(640, 640, size))], grid
+                    )
+                )
+                for size in sizes
+            ]
+        )
+
+    def test_measure_epe_batch_matches_scalar(self, sim, grid):
+        clip = clip_with_via(70)
+        segments = fragment_clip(clip)
+        aerials = self._aerials(sim, grid, (70, 90, 120))
+        reports = measure_epe_batch(
+            aerials, grid, segments, sim.config.threshold
+        )
+        assert len(reports) == 3
+        for aerial, report in zip(aerials, reports):
+            single = measure_epe(aerial, grid, segments, sim.config.threshold)
+            assert np.array_equal(report.values, single.values)
+
+    def test_segment_epe_batch_matches_scalar(self, sim, grid):
+        clip = clip_with_via(70)
+        segments = fragment_clip(clip)
+        aerials = self._aerials(sim, grid, (70, 110))
+        batched = segment_epe_batch(
+            aerials, grid, segments, sim.config.threshold
+        )
+        assert batched.shape == (2, len(segments))
+        for aerial, row in zip(aerials, batched):
+            assert np.array_equal(
+                row, segment_epe(aerial, grid, segments, sim.config.threshold)
+            )
+
+    def test_measure_epe_grouped_heterogeneous(self, sim, grid):
+        clips = [clip_with_via(70), clip_with_via(110)]
+        segments = [fragment_clip(c) for c in clips]
+        aerials = self._aerials(sim, grid, (70, 110))
+        reports = measure_epe_grouped(
+            aerials, [grid, grid], segments, sim.config.threshold
+        )
+        for aerial, segs, report in zip(aerials, segments, reports):
+            single = measure_epe(aerial, grid, segs, sim.config.threshold)
+            assert np.array_equal(report.values, single.values)
+
+    def test_empty_segments(self, sim, grid):
+        aerials = self._aerials(sim, grid, (70,))
+        assert measure_epe_batch(aerials, grid, [], 0.3)[0].count == 0
+        assert segment_epe_batch(aerials, grid, [], 0.3).shape == (1, 0)
+
+
 class TestPVBand:
     def test_disjoint_band(self):
         inner = np.zeros((10, 10), dtype=np.uint8)
@@ -162,6 +362,21 @@ class TestPVBand:
     def test_bad_pixel(self):
         with pytest.raises(MetrologyError):
             pvband_area(np.zeros((2, 2)), np.zeros((2, 2)), 0)
+
+    def test_batch_matches_scalar(self):
+        rng = np.random.default_rng(9)
+        inner = rng.random((4, 12, 12)) > 0.6
+        outer = inner | (rng.random((4, 12, 12)) > 0.5)
+        areas = pvband_area_batch(inner, outer, pixel_nm=3.0)
+        assert areas.shape == (4,)
+        for i_img, o_img, area in zip(inner, outer, areas):
+            assert area == pvband_area(i_img, o_img, pixel_nm=3.0)
+
+    def test_batch_validation(self):
+        with pytest.raises(MetrologyError):
+            pvband_area_batch(np.zeros((2, 2)), np.zeros((2, 2)), 4.0)
+        with pytest.raises(MetrologyError):
+            pvband_area_batch(np.zeros((1, 2, 2)), np.zeros((1, 2, 2)), 0.0)
 
     def test_real_simulation_band(self, grid):
         # A wide dose excursion guarantees a visible band even on the

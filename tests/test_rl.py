@@ -14,11 +14,14 @@ from repro.nn.tensor import Tensor
 from repro.rl import (
     OPCEnvironment,
     collect_teacher_actions,
+    collect_teacher_actions_population,
     compute_reward,
     discounted_returns,
     greedy_teacher_actions,
     policy_gradient_step,
+    population_gradient_step,
     select_log_probs,
+    select_log_probs_population,
 )
 from repro.rl.trajectory import Trajectory, TrajectoryStep
 
@@ -132,6 +135,104 @@ class TestEnvironment:
             env.step(state, np.zeros(3, dtype=int))
         with pytest.raises(RLError):
             env.step(state, np.full(env.n_segments, 9))
+
+
+class TestStepBatch:
+    def test_matches_sequential_steps(self, env):
+        """step_batch on P distinct states is bit-for-bit equal to P
+        sequential step calls — the population-training invariant."""
+        base = env.reset()
+        rng = np.random.default_rng(3)
+        states = [base, env.evaluate(base.mask.moved(np.full(env.n_segments, 2.0)))]
+        actions = rng.integers(0, env.n_actions, size=(2, env.n_segments))
+        batched = env.step_batch(states, actions)
+        for state, row, (next_state, reward) in zip(states, actions, batched):
+            ref_state, ref_reward = env.step(state, row)
+            assert reward == ref_reward
+            assert np.array_equal(next_state.seg_epe, ref_state.seg_epe)
+            assert np.array_equal(next_state.epe.values, ref_state.epe.values)
+            assert next_state.pvband == ref_state.pvband
+
+    def test_shape_validation(self, env):
+        state = env.reset()
+        with pytest.raises(RLError):
+            env.step_batch([state], np.zeros((2, env.n_segments), dtype=int))
+        with pytest.raises(RLError):
+            env.step_batch([], np.zeros((0, env.n_segments), dtype=int))
+
+
+class TestPopulationReinforce:
+    def test_select_log_probs_population_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(3, 4, 5))
+        actions = rng.integers(0, 5, size=(3, 4))
+        joint = select_log_probs_population(Tensor(logits), actions)
+        assert joint.shape == (3,)
+        for p in range(3):
+            single = select_log_probs(Tensor(logits[p]), actions[p])
+            assert joint.numpy()[p] == pytest.approx(single.item(), abs=1e-12)
+
+    def test_population_shape_validation(self):
+        with pytest.raises(RLError):
+            select_log_probs_population(
+                Tensor(np.zeros((2, 3, 5))), np.zeros((3, 3), dtype=int)
+            )
+        layer = Linear(3, 5, rng=np.random.default_rng(0))
+        optimizer = SGD(layer.parameters(), lr=0.1)
+        with pytest.raises(RLError):
+            population_gradient_step(
+                optimizer, Tensor(np.zeros((2, 2))), np.zeros(2)
+            )
+
+    def test_population_step_moves_toward_advantage(self):
+        """Positive-advantage trajectories gain probability, negative lose."""
+        rng = np.random.default_rng(1)
+        layer = Linear(3, 5, rng=rng)
+        optimizer = SGD(layer.parameters(), lr=0.1)
+        x = Tensor(np.ones((2, 1, 3)))
+        actions = np.array([[4], [2]])
+
+        def joint():
+            return select_log_probs_population(layer(x), actions).numpy()
+
+        before = joint()
+        population_gradient_step(
+            optimizer,
+            select_log_probs_population(layer(x), actions),
+            np.array([1.0, -1.0]),
+        )
+        after = joint()
+        assert after[0] > before[0]
+        assert after[1] < before[1]
+
+
+class TestLockstepImitation:
+    def test_matches_sequential_collection(self, env):
+        starts = [env.reset(bias_nm=0.0), env.reset(bias_nm=5.0)]
+        lockstep = collect_teacher_actions_population(
+            env, steps=3, initial_states=starts
+        )
+        assert len(lockstep) == 2
+        for start, trajectory in zip(starts, lockstep):
+            reference = collect_teacher_actions(env, steps=3, initial_state=start)
+            assert len(trajectory) == len(reference)
+            for (s_a, a_a, r_a), (s_b, a_b, r_b) in zip(trajectory, reference):
+                assert np.array_equal(a_a, a_b)
+                assert r_a == r_b
+                assert np.array_equal(s_a.seg_epe, s_b.seg_epe)
+
+    def test_default_start_is_reset(self, env):
+        trajectories = collect_teacher_actions_population(env, steps=2)
+        assert len(trajectories) == 1
+        reference = collect_teacher_actions(env, steps=2)
+        for (s_a, a_a, r_a), (s_b, a_b, r_b) in zip(trajectories[0], reference):
+            assert np.array_equal(a_a, a_b) and r_a == r_b
+
+    def test_validation(self, env):
+        with pytest.raises(RLError):
+            collect_teacher_actions_population(env, steps=0)
+        with pytest.raises(RLError):
+            collect_teacher_actions_population(env, steps=1, initial_states=[])
 
 
 class TestReinforce:
