@@ -11,9 +11,12 @@ This is *not* part of the paper's comparison tables; it is the classic
 numerical-optimization alternative (refs [5, 6] in the paper) and powers
 an extension bench contrasting edge-based and pixel-based OPC.
 
-Per-iteration coherent fields come from the kernel set's batched helpers
-(:meth:`~repro.litho.kernels.OpticalKernelSet.fields_from_mask_fft`), and
-the final corner sweep runs through the batched simulator path.
+Per-iteration coherent fields come from the kernel set's cached per-grid
+band spectra (scattered to full-grid transfer functions by
+:meth:`~repro.litho.kernels.OpticalKernelSet.kernel_spectra`, with
+weights from :meth:`~repro.litho.kernels.OpticalKernelSet.weights_for`),
+every transform runs through the set's pluggable FFT backend, and the
+final corner sweep runs through the batched simulator path.
 """
 
 from __future__ import annotations
@@ -73,12 +76,13 @@ class PixelILT:
         # target pixels start transparent.
         field = cfg.initial_bias_logit * (2.0 * target - 1.0)
         kernel_ffts = kernel_set.kernel_spectra(target.shape)
-        weights = kernel_set.weights
+        weights = kernel_set.weights_for(target.shape)
+        fft = kernel_set.fft
 
         trajectory: Trajectory | None = None
         for _ in range(cfg.iterations):
             mask = _sigmoid(cfg.mask_steepness * field)
-            mask_fft = np.fft.fft2(mask)
+            mask_fft = fft.fft2(mask)
             fields_k = kernel_set.fields_from_mask_fft(mask_fft)
             intensity = np.zeros_like(mask)
             for w, ck in zip(weights, fields_k):
@@ -93,7 +97,7 @@ class PixelILT:
             g = 2.0 * error * cfg.resist_steepness * printed_soft * (1 - printed_soft)
             grad_mask = np.zeros_like(mask)
             for w, ck, kf in zip(weights, fields_k, kernel_ffts):
-                corr = np.fft.ifft2(np.fft.fft2(g * ck) * np.conj(kf))
+                corr = fft.ifft2(fft.fft2(g * ck) * np.conj(kf))
                 grad_mask += w * 2.0 * corr.real
             grad_field = (
                 grad_mask * cfg.mask_steepness * mask * (1 - mask)

@@ -9,7 +9,8 @@ restricted to the +/-2 nm move set).
 
 Each iteration's corner sweep runs through the environment's simulator
 facade, which computes the focus and defocus aerials from one shared
-forward FFT (the batched-corner path of
+forward FFT feeding the exact pupil-band subgrid engine (the
+batched-corner path of
 :meth:`~repro.litho.simulator.LithographySimulator.simulate_batch`).
 """
 

@@ -251,12 +251,13 @@ class CAMO:
     ) -> None:
         """Phase 2: modulated exploration with Eq. 7 updates.
 
-        ``rl_population == 1`` with exact evaluation runs the original
-        sequential loop (bit-for-bit reproducible histories); a larger
-        population — or a spectral exploration mode — routes through the
-        lockstep population loop.
+        ``rl_population == 1`` runs the original sequential loop
+        (bit-for-bit reproducible histories); a larger population routes
+        through the lockstep population loop.  (The retired
+        ``rl_eval_mode`` knob no longer affects routing — every litho
+        call is exact.)
         """
-        if self.config.rl_population > 1 or self.config.rl_eval_mode != "exact":
+        if self.config.rl_population > 1:
             self._train_rl_population(clips, history, verbose)
         else:
             self._train_rl_sequential(clips, history, verbose)
@@ -336,15 +337,17 @@ class CAMO:
         Per step: P modulated action samples from one batched policy
         forward (:meth:`CamoPolicy.forward_population`), one batched
         litho + metrology transition
-        (:meth:`~repro.rl.env.OPCEnvironment.step_batch`, optionally in
-        spectral screening mode), and one accumulated policy-gradient
-        step over the per-trajectory EMA-baseline advantages.  Each
-        baseline slot persists across clips and epochs, mirroring the
-        sequential loop's single EMA baseline.  Trajectories that reach
-        the early-exit criterion drop out of the batch individually.
+        (:meth:`~repro.rl.env.OPCEnvironment.step_batch`), and one
+        accumulated policy-gradient step over the per-trajectory
+        EMA-baseline advantages.  Each baseline slot persists across
+        clips and epochs, mirroring the sequential loop's single EMA
+        baseline.  Trajectories that reach the early-exit criterion drop
+        out of the batch individually.  Node features for the whole
+        population are encoded through one shared scanline union per
+        segment (:meth:`NodeFeatureEncoder.encode_all_population`).
         """
         population = self.config.rl_population
-        mode = self.config.rl_eval_mode
+        offsets = self.config.rl_population_bias_offsets
         rl_optimizer = self._rl_optimizer()
         baselines = np.zeros(population, dtype=np.float64)
         initialized = np.zeros(population, dtype=bool)
@@ -352,15 +355,28 @@ class CAMO:
             epoch_reward = 0.0
             for clip in clips:
                 ctx = self.context(clip)
-                # reset() is deterministic, so the population shares one
-                # evaluated start state (EnvState is immutable); the
-                # trajectories diverge at the first sampled actions.
-                start = ctx.env.reset()
-                states: list[EnvState] = [start] * population
+                if offsets:
+                    # Deterministic per-trajectory bias jitter decorrelates
+                    # the population; all P starts are evaluated through
+                    # one batched litho + metrology call.
+                    states = ctx.env.reset_population(
+                        [
+                            self.config.initial_bias_nm
+                            + offsets[p % len(offsets)]
+                            for p in range(population)
+                        ]
+                    )
+                else:
+                    # reset() is deterministic, so the population shares
+                    # one evaluated start state (EnvState is immutable);
+                    # the trajectories diverge at the first sampled
+                    # actions.
+                    start = ctx.env.reset()
+                    states = [start] * population
                 active = list(range(population))
                 for step in range(self.config.max_updates):
-                    features = np.stack(
-                        [self.encoder.encode_all(states[p].mask) for p in active]
+                    features = self.encoder.encode_all_population(
+                        [states[p].mask for p in active]
                     )
                     logits = self.policy.forward_population(
                         features, ctx.adjacency, ctx.order
@@ -374,7 +390,7 @@ class CAMO:
                         len(active), ctx.env.n_segments
                     )
                     stepped = ctx.env.step_batch(
-                        [states[p] for p in active], actions, mode=mode
+                        [states[p] for p in active], actions
                     )
                     rewards = np.asarray([reward for _, reward in stepped])
                     slots = np.asarray(active)

@@ -9,6 +9,7 @@ reduced-but-faithful "repro" profile used by tests and benches.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 
 from repro.constants import (
@@ -106,11 +107,17 @@ class CamoConfig:
     into one accumulated policy-gradient step — the population throughput
     path (see ``benchmarks/bench_train_throughput.py``)."""
     rl_eval_mode: str = "exact"
-    """Lithography mode for phase-2 *exploration* transitions: ``"exact"``
-    or ``"spectral"`` (the pupil-band screening engine, ~1e-3 intensity
-    error — fine for sampling rollouts, never used for reported
-    metrology).  Any non-exact mode routes training through the
-    population loop even at P=1."""
+    """Deprecated and ignored: the unified band-limited litho engine is
+    always exact, so there is no screening mode to select.  ``"spectral"``
+    is still accepted (with a ``DeprecationWarning``) so existing configs
+    keep constructing; any other value raises."""
+    rl_population_bias_offsets: tuple[float, ...] = ()
+    """Deterministic per-trajectory initial-bias jitter for population
+    training (satellite of the start-state diversification follow-up):
+    trajectory ``p`` starts from ``initial_bias_nm + offsets[p % len]``,
+    mirroring how imitation diversifies its teacher rollouts.  The empty
+    default keeps every trajectory on the shared ``reset()`` start, so
+    existing population histories (and P=1 runs) are unchanged."""
     max_grad_norm: float = 10.0
     seed: int = 2024
 
@@ -143,6 +150,18 @@ class CamoConfig:
             )
         if self.rl_eval_mode not in ("exact", "spectral"):
             raise ConfigError(f"unknown rl_eval_mode {self.rl_eval_mode!r}")
+        if self.rl_eval_mode != "exact":
+            warnings.warn(
+                "rl_eval_mode is deprecated and ignored: the unified "
+                "band-limited litho engine is always exact",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        if not all(
+            isinstance(offset, (int, float)) for offset in
+            self.rl_population_bias_offsets
+        ):
+            raise ConfigError("rl_population_bias_offsets must be numbers")
         if self.encoder_tail not in ("gap", "flatten"):
             raise ConfigError(f"unknown encoder_tail {self.encoder_tail!r}")
         if self.sage_layers < 1:

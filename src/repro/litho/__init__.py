@@ -4,22 +4,27 @@ The paper evaluates masks with a Calibre-compatible simulator from an
 industry partner.  We reproduce the same physics class used by the academic
 baselines (ICCAD-2013 contest style): Hopkins imaging decomposed into a sum
 of coherent systems (SOCS).  The transmission cross coefficient (TCC) is
-built from a parametric illumination source and a defocus-capable pupil,
-eigendecomposed into optical kernels, and applied to rasterized masks with
-FFT convolutions.  A constant-threshold resist model with dose/defocus
-process corners yields printed contours and the PV band.
+built *frequency-natively* — directly on each simulation grid's DFT
+frequency lattice — and eigendecomposed into exactly band-limited kernel
+spectra, so the compact pupil-band convolution engine is exact (there is
+no separate screening mode).  A constant-threshold resist model with
+dose/defocus process corners yields printed contours and the PV band.
 """
 
 from repro.litho.fft import (
     FFTBackend,
+    next_fast_len,
     resolve_fft_backend,
     scipy_fft_available,
 )
 from repro.litho.source import SourceSpec, source_weights
 from repro.litho.pupil import pupil_function
-from repro.litho.tcc import build_tcc, socs_kernels
-from repro.litho.kernels import OpticalKernelSet, build_kernel_set
-from repro.litho.spectral import SpectralConvolver
+from repro.litho.tcc import build_tcc, build_tcc_grid, socs_kernels, socs_spectra
+from repro.litho.kernels import (
+    GridBandSpectra,
+    OpticalKernelSet,
+    build_kernel_set,
+)
 from repro.litho.imaging import aerial_image
 from repro.litho.resist import printed_image
 from repro.litho.process import ProcessCorner, nominal_corner, standard_corners
@@ -27,16 +32,19 @@ from repro.litho.simulator import LithographySimulator, LithoConfig, LithoResult
 
 __all__ = [
     "FFTBackend",
+    "next_fast_len",
     "resolve_fft_backend",
     "scipy_fft_available",
     "SourceSpec",
     "source_weights",
     "pupil_function",
     "build_tcc",
+    "build_tcc_grid",
     "socs_kernels",
+    "socs_spectra",
+    "GridBandSpectra",
     "OpticalKernelSet",
     "build_kernel_set",
-    "SpectralConvolver",
     "aerial_image",
     "printed_image",
     "ProcessCorner",

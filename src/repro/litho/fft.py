@@ -1,8 +1,9 @@
 """Pluggable FFT backend for the lithography engines.
 
-Every forward/inverse transform in :mod:`repro.litho.kernels` and
-:mod:`repro.litho.spectral` runs through one :class:`FFTBackend` so the
-whole simulate path can switch transform libraries in a single place:
+Every forward/inverse transform in :mod:`repro.litho.kernels` (both the
+full-grid reference path and the band-limited subgrid engine) runs
+through one :class:`FFTBackend` so the whole simulate path can switch
+transform libraries in a single place:
 
 * ``"numpy"`` — ``np.fft``; single-threaded, bit-for-bit reproducible,
   and the backend the committed golden images were generated with.
@@ -39,6 +40,21 @@ except ImportError:  # pragma: no cover - depends on the environment
     _scipy_fft = None
 
 FFT_BACKEND_NAMES = ("auto", "numpy", "scipy")
+
+
+def next_fast_len(n: int) -> int:
+    """Smallest 5-smooth integer >= ``n`` (fast FFT length)."""
+    if n < 1:
+        raise LithoError(f"FFT length must be positive, got {n}")
+    best = n
+    while True:
+        m = best
+        for p in (2, 3, 5):
+            while m % p == 0:
+                m //= p
+        if m == 1:
+            return best
+        best += 1
 
 
 def scipy_fft_available() -> bool:

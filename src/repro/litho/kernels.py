@@ -1,27 +1,45 @@
-"""Optical kernel sets: cropped SOCS kernels ready for fast FFT imaging.
+"""Optical kernel sets: frequency-native, band-limited SOCS spectra.
 
-A :class:`OpticalKernelSet` owns the spatial kernels for one process
-condition (focus setting), normalized so that an open-frame (all-clear)
-mask images to intensity exactly 1.0.  Kernel FFTs are cached per mask
-shape (bounded LRU, shared by the single-mask and batched paths) so
-repeated simulations during OPC iterations cost one mask FFT plus one
-inverse FFT per kernel.
+A :class:`OpticalKernelSet` owns the optics of one process condition
+(focus setting).  Its primary representation is *per-grid band spectra*
+(:class:`GridBandSpectra`): for every raster shape it simulates on, the
+TCC is built directly on that grid's DFT frequency lattice
+(:func:`repro.litho.tcc.build_tcc_grid`) and eigendecomposed into SOCS
+kernel spectra that are exactly zero outside the pupil band.  Because no
+spatial crop ever happens, the compact pupil-band subgrid engine is
+*exact* — the former screening-vs-reference accuracy split is gone.
 
-Two convolution entry points are exposed:
+Convolution entry points:
 
-* :meth:`OpticalKernelSet.convolve_intensity` — the single-mask reference
-  path, unchanged semantics;
-* :meth:`OpticalKernelSet.convolve_intensity_batch` — ``(B, H, W)`` mask
-  stacks through one vectorized ``np.fft.fft2``/``ifft2`` per kernel.
-  The per-kernel accumulation order matches the reference path exactly,
-  so batched results are bit-for-bit identical to per-mask results.
+* :meth:`OpticalKernelSet.convolve_intensity` — the single-mask spatial
+  reference path: full-grid per-kernel inverse FFTs over the scattered
+  band spectra.  Everything else is tested against it.
+* :meth:`OpticalKernelSet.convolve_intensity_batch` /
+  :meth:`~OpticalKernelSet.intensity_from_mask_ffts` — the unified
+  engine for ``(B, H, W)`` stacks: gather the pupil-band mask
+  coefficients, run the per-kernel inverse FFTs on an alias-free
+  ``m x m`` subgrid (``m >= 4b + 1`` so the *squared* field, band radius
+  ``2b``, folds nowhere), and resample the intensity to the full grid
+  with one zero-padded FFT interpolation.  Exact to FFT round-off
+  (<= 1e-9 absolute intensity) against the reference path, at what used
+  to be screening speed; it falls back to the full-grid loop when the
+  band covers the grid.
 
-Lower-level spectrum helpers (:meth:`~OpticalKernelSet.kernel_spectra`,
-:meth:`~OpticalKernelSet.fields_from_mask_fft`,
-:meth:`~OpticalKernelSet.intensity_from_mask_ffts`) let callers that
-already hold mask spectra — the simulator's shared-forward corner sweep,
-the pixel-ILT gradient loop — reuse the cached kernel FFTs without
-recomputing forward transforms.
+Lower-level helpers (:meth:`~OpticalKernelSet.kernel_spectra`,
+:meth:`~OpticalKernelSet.weights_for`,
+:meth:`~OpticalKernelSet.fields_from_mask_fft`) expose the cached
+full-grid transfer functions to callers that hold mask spectra already —
+the simulator's shared-forward corner sweep and the pixel-ILT gradient
+loop.
+
+Spatial kernels still exist, but only as a *derived* artifact: the
+canonical square-lattice materialization (:meth:`spatial_kernels`) feeds
+persistence and visualization, and kernel sets loaded from legacy
+``.npz`` files (spatial arrays only) keep simulating through the
+full-grid path with their padded-kernel FFTs cached per
+``(shape, fft backend)`` — the backend is part of the cache key so one
+set shared across configs can never serve spectra computed by another
+backend's transform.
 """
 
 from __future__ import annotations
@@ -34,58 +52,145 @@ import numpy as np
 
 from repro.constants import NUMERICAL_APERTURE, WAVELENGTH_NM
 from repro.errors import LithoError
-from repro.litho.fft import FFTBackend, resolve_fft_backend
+from repro.litho.fft import FFTBackend, next_fast_len, resolve_fft_backend
 from repro.litho.source import SourceSpec
-from repro.litho.tcc import build_tcc, socs_kernels
+from repro.litho.tcc import build_tcc, build_tcc_grid, socs_kernels, socs_spectra
+
+
+def _band_indices(n: int, radius: int) -> np.ndarray:
+    """Indices of the centred frequency band of ``radius`` on an n-grid."""
+    return np.r_[0 : radius + 1, n - radius : n]
+
+
+@dataclass(frozen=True)
+class GridBandSpectra:
+    """Band-limited SOCS spectra bound to one grid shape (source of truth).
+
+    Attributes:
+        shape: Full grid shape ``(H, W)`` the spectra convolve on.
+        weights: ``(K,)`` kernel weights, rescaled so an open-frame mask
+            images to intensity exactly 1.0 on this grid.
+        band: Per-axis frequency index radii ``(b0, b1)`` of the pupil
+            band; every kernel spectrum is exactly zero outside it.
+        subgrid: Alias-free intensity subgrid ``(m0, m1)``
+            (5-smooth, ``m >= 4b + 1``); equals ``shape`` when the band
+            covers the grid.
+        compact: Whether the subgrid is strictly smaller than the grid
+            (i.e. the band engine actually saves work).
+        sub_spectra: ``(K, m0, m1)`` kernel spectra scattered onto the
+            subgrid, prescaled by ``(m0 * m1) / (H * W)`` so a subgrid
+            inverse FFT of ``gathered_mask_fft * sub_spectra[k]`` yields
+            the coherent field samples directly.
+    """
+
+    shape: tuple[int, int]
+    weights: np.ndarray
+    band: tuple[int, int]
+    subgrid: tuple[int, int]
+    compact: bool
+    sub_spectra: np.ndarray
+    rows_src: np.ndarray
+    cols_src: np.ndarray
+    rows_dst: np.ndarray
+    cols_dst: np.ndarray
+    up_rows_src: np.ndarray
+    up_cols_src: np.ndarray
+    up_rows_dst: np.ndarray
+    up_cols_dst: np.ndarray
+
+    @property
+    def count(self) -> int:
+        return len(self.weights)
 
 
 @dataclass
 class OpticalKernelSet:
     """SOCS kernels for one focus condition.
 
+    Two provenances share this class:
+
+    * **Frequency-native** (``source`` given, the builder default): band
+      spectra are constructed lazily per grid shape and are the source of
+      truth; ``weights`` / ``kernels`` stay ``None`` and spatial kernels
+      exist only through :meth:`spatial_kernels` (persistence /
+      visualization).
+    * **Legacy spatial** (``weights`` + ``kernels`` arrays given, e.g.
+      loaded from an old ``.npz``): simulation runs through the full-grid
+      path with padded-kernel FFTs; there is no band engine because a
+      cropped kernel is not band-limited.
+
     Attributes:
-        weights: ``(K,)`` kernel weights (TCC eigenvalues, rescaled).
-        kernels: ``(K, c, c)`` complex spatial kernels, centre at ``c // 2``.
         pixel_nm: Raster pitch the kernels are sampled at.
-        defocus_nm: Focus condition these kernels represent.
-        cutoff_per_nm: Coherent spatial-frequency cutoff of the imaging
-            system, ``(1 + sigma_out) * NA / lambda`` in cycles/nm, or
-            ``None`` for kernel sets loaded from legacy files.  Consumed
-            by the band-limited screening engine
-            (:mod:`repro.litho.spectral`).
-        fft_cache_capacity: Maximum number of distinct grid shapes whose
-            kernel FFTs are kept resident (least-recently-used eviction).
-        fft_backend: Transform library (see :mod:`repro.litho.fft`);
-            ``"auto"`` picks threaded scipy on multi-core hosts and numpy
-            otherwise.  Both convolution paths share the one backend, so
-            batch-vs-single parity is bit-for-bit whichever is chosen.
-        fft_workers: Thread count for the scipy backend (``None`` = all
-            cores).
+        defocus_nm: Focus condition this set represents.
+        weights / kernels: Legacy spatial arrays (``None`` when native).
+        source: Illumination source (native sets).
+        wavelength_nm / numerical_aperture: Optics of the native build.
+        max_kernels / energy_fraction: SOCS truncation knobs.
+        period_nm: Square-lattice period of the canonical spatial
+            materialization (persistence/visualization only — simulation
+            lattices are per-grid).
+        cutoff_per_nm: Coherent pupil cutoff ``NA / lambda`` in
+            cycles/nm (informational; ``None`` for legacy files that
+            never recorded it).
+        fft_cache_capacity: Max distinct grid shapes kept resident in
+            each bounded LRU (band spectra, full-grid transfer stacks).
+        fft_backend / fft_workers: Transform library selection (see
+            :mod:`repro.litho.fft`).  All entry points share the one
+            backend; cached FFT-derived artifacts are keyed by backend
+            identity, so swapping the backend can never serve stale
+            spectra.
     """
 
-    weights: np.ndarray
-    kernels: np.ndarray
     pixel_nm: float
     defocus_nm: float
+    weights: np.ndarray | None = None
+    kernels: np.ndarray | None = None
+    source: SourceSpec | None = None
+    wavelength_nm: float = WAVELENGTH_NM
+    numerical_aperture: float = NUMERICAL_APERTURE
+    max_kernels: int = 12
+    energy_fraction: float = 0.995
+    period_nm: float = 2048.0
     cutoff_per_nm: float | None = None
     fft_cache_capacity: int = 6
     fft_backend: str = "auto"
     fft_workers: int | None = None
-    _fft_cache: "OrderedDict[tuple[int, int], np.ndarray]" = field(
+    _band_cache: "OrderedDict[tuple[int, int], GridBandSpectra]" = field(
         default_factory=OrderedDict, repr=False
+    )
+    _fft_cache: "OrderedDict[tuple, np.ndarray]" = field(
+        default_factory=OrderedDict, repr=False
+    )
+    _canonical: tuple[np.ndarray, np.ndarray] | None = field(
+        default=None, repr=False
     )
 
     def __post_init__(self) -> None:
-        if self.kernels.ndim != 3 or self.kernels.shape[1] != self.kernels.shape[2]:
-            raise LithoError(f"bad kernel array shape {self.kernels.shape}")
-        if len(self.weights) != len(self.kernels):
-            raise LithoError("weights / kernels length mismatch")
+        if self.kernels is not None:
+            if (
+                self.kernels.ndim != 3
+                or self.kernels.shape[1] != self.kernels.shape[2]
+            ):
+                raise LithoError(f"bad kernel array shape {self.kernels.shape}")
+            if self.weights is None or len(self.weights) != len(self.kernels):
+                raise LithoError("weights / kernels length mismatch")
+        elif self.source is None:
+            raise LithoError(
+                "kernel set needs either a source spec (frequency-native) "
+                "or explicit spatial weights + kernels (legacy)"
+            )
         if self.fft_cache_capacity < 1:
             raise LithoError(
                 f"fft_cache_capacity must be >= 1, got {self.fft_cache_capacity}"
             )
         # Resolve eagerly so a bad backend name fails at construction.
         resolve_fft_backend(self.fft_backend, self.fft_workers)
+
+    # -- provenance / backend ------------------------------------------------
+    @property
+    def is_native(self) -> bool:
+        """True for frequency-native sets (band spectra available)."""
+        return self.source is not None and self.kernels is None
 
     @property
     def fft(self) -> FFTBackend:
@@ -94,32 +199,160 @@ class OpticalKernelSet:
 
     @property
     def count(self) -> int:
+        """Kernel count of a legacy spatial set (per-grid for native)."""
+        if self.is_native:
+            raise LithoError(
+                "frequency-native kernel sets have per-grid kernel counts; "
+                "use band_spectra(shape).count"
+            )
         return len(self.weights)
 
     @property
     def ambit_px(self) -> int:
+        """Spatial kernel extent of a legacy set (native sets have none)."""
+        if self.is_native:
+            raise LithoError(
+                "frequency-native kernel sets are not spatially cropped "
+                "and have no ambit"
+            )
         return self.kernels.shape[1]
 
-    def convolve_intensity(self, mask: np.ndarray) -> np.ndarray:
-        """Aerial intensity ``sum_k w_k |h_k * mask|^2`` (circular conv).
-
-        ``mask`` is a 2-D real array (binary masks or graytone); it must be
-        at least as large as the kernel ambit in both dimensions.
-        """
-        if mask.ndim != 2:
-            raise LithoError(f"mask must be 2-D, got shape {mask.shape}")
-        if min(mask.shape) < self.ambit_px:
+    # -- per-grid band spectra (the source of truth) -------------------------
+    def band_spectra(self, shape: tuple[int, int]) -> GridBandSpectra:
+        """Band-limited SOCS spectra for one grid shape (built once, LRU)."""
+        if not self.is_native:
             raise LithoError(
-                f"mask {mask.shape} smaller than kernel ambit {self.ambit_px}"
+                "legacy spatial kernel sets carry no band spectra; "
+                "rebuild with build_kernel_set for the frequency-native path"
             )
-        kernel_ffts = self._kernel_ffts(mask.shape)
-        fft = self.fft
-        mask_fft = fft.fft2(mask.astype(np.float64), axes=(-2, -1))
-        intensity = np.zeros(mask.shape, dtype=np.float64)
-        for weight, kernel_fft in zip(self.weights, kernel_ffts):
-            field_k = fft.ifft2(mask_fft * kernel_fft, axes=(-2, -1))
-            intensity += weight * (field_k.real**2 + field_k.imag**2)
-        return intensity
+        key = (int(shape[0]), int(shape[1]))
+        cached = self._band_cache.get(key)
+        if cached is not None:
+            self._band_cache.move_to_end(key)
+            return cached
+        built = self._build_band_spectra(key)
+        self._band_cache[key] = built
+        while len(self._band_cache) > self.fft_cache_capacity:
+            self._band_cache.popitem(last=False)
+        return built
+
+    def _build_band_spectra(self, shape: tuple[int, int]) -> GridBandSpectra:
+        rows, cols = shape
+        tcc = build_tcc_grid(
+            self.source,
+            shape,
+            self.pixel_nm,
+            defocus_nm=self.defocus_nm,
+            wavelength_nm=self.wavelength_nm,
+            numerical_aperture=self.numerical_aperture,
+        )
+        weights, coefficients = socs_spectra(
+            tcc, max_kernels=self.max_kernels,
+            energy_fraction=self.energy_fraction,
+        )
+        # Open-frame normalization: a clear mask has spectrum H*W at DC
+        # only, so its intensity is sum_k w_k |coeff_k(0, 0)|^2.
+        origin = np.nonzero(
+            (tcc.shift_indices[:, 0] == 0) & (tcc.shift_indices[:, 1] == 0)
+        )[0][0]
+        open_frame = float(
+            np.sum(weights * np.abs(coefficients[:, origin]) ** 2)
+        )
+        if open_frame <= 0:
+            raise LithoError("kernel set images an open frame to zero intensity")
+        weights = weights / open_frame
+
+        b0, b1 = tcc.band_radii
+        m0 = next_fast_len(4 * b0 + 1)
+        m1 = next_fast_len(4 * b1 + 1)
+        compact = m0 < rows and m1 < cols
+        if not compact:
+            m0, m1 = rows, cols
+        scale = (m0 * m1) / (rows * cols)
+        sub_spectra = np.zeros(
+            (len(weights), m0, m1), dtype=np.complex128
+        )
+        sub_rows = tcc.shift_indices[:, 0] % m0
+        sub_cols = tcc.shift_indices[:, 1] % m1
+        sub_spectra[:, sub_rows, sub_cols] = coefficients * scale
+        return GridBandSpectra(
+            shape=shape,
+            weights=weights,
+            band=(b0, b1),
+            subgrid=(m0, m1),
+            compact=compact,
+            sub_spectra=sub_spectra,
+            rows_src=_band_indices(rows, b0),
+            cols_src=_band_indices(cols, b1),
+            rows_dst=_band_indices(m0, b0),
+            cols_dst=_band_indices(m1, b1),
+            up_rows_src=_band_indices(m0, 2 * b0),
+            up_cols_src=_band_indices(m1, 2 * b1),
+            up_rows_dst=_band_indices(rows, 2 * b0),
+            up_cols_dst=_band_indices(cols, 2 * b1),
+        )
+
+    def weights_for(self, shape: tuple[int, int]) -> np.ndarray:
+        """Kernel weights matching :meth:`kernel_spectra` for one shape."""
+        if self.is_native:
+            return self.band_spectra((int(shape[0]), int(shape[1]))).weights
+        return self.weights
+
+    # -- full-grid transfer functions ---------------------------------------
+    def kernel_spectra(self, shape: tuple[int, int]) -> np.ndarray:
+        """Cached ``(K, H, W)`` full-grid kernel spectra (read-only).
+
+        Native sets scatter the band coefficients (exactly zero outside
+        the pupil band, backend-independent); legacy sets FFT their
+        zero-padded spatial kernels (cached per transform backend).
+        """
+        key = (int(shape[0]), int(shape[1]))
+        self._validate_grid(key)
+        if self.is_native:
+            cache_key = (key, "band")
+        else:
+            backend = self.fft
+            cache_key = (key, backend.name, backend.workers)
+        cached = self._fft_cache.get(cache_key)
+        if cached is not None:
+            self._fft_cache.move_to_end(cache_key)
+            return cached
+        if self.is_native:
+            band = self.band_spectra(key)
+            m0, m1 = band.subgrid
+            scale = (key[0] * key[1]) / (m0 * m1)
+            stack = np.zeros((band.count, *key), dtype=np.complex128)
+            stack[
+                :, band.rows_src[:, None], band.cols_src[None, :]
+            ] = band.sub_spectra[
+                :, band.rows_dst[:, None], band.cols_dst[None, :]
+            ] * scale
+        else:
+            c = self.ambit_px
+            half = c // 2
+            stack = np.empty((self.count, *key), dtype=np.complex128)
+            for k in range(self.count):
+                padded = np.zeros(key, dtype=np.complex128)
+                padded[:c, :c] = self.kernels[k]
+                # Centre the kernel on pixel (0, 0) for circular convolution.
+                padded = np.roll(padded, (-half, -half), axis=(0, 1))
+                stack[k] = self.fft.fft2(padded, axes=(-2, -1))
+        self._fft_cache[cache_key] = stack
+        while len(self._fft_cache) > self.fft_cache_capacity:
+            self._fft_cache.popitem(last=False)
+        return stack
+
+    # -- validation ----------------------------------------------------------
+    def _validate_grid(self, shape: tuple[int, int]) -> None:
+        if len(shape) != 2:
+            raise LithoError(f"grid shape must be 2-D, got {shape}")
+        if self.is_native:
+            # Raises "frequency lattice too coarse" for unusably small grids.
+            self.band_spectra(shape)
+        elif min(shape) < self.ambit_px:
+            raise LithoError(
+                f"grid {shape} cannot hold kernels with ambit {self.ambit_px}"
+            )
 
     def validate_mask_batch(self, masks: np.ndarray) -> np.ndarray:
         """Check and coerce a ``(B, H, W)`` stack of rasterized masks."""
@@ -130,20 +363,42 @@ class OpticalKernelSet:
             )
         if stack.shape[0] == 0:
             raise LithoError("mask batch is empty")
-        if min(stack.shape[1:]) < self.ambit_px:
+        if not self.is_native and min(stack.shape[1:]) < self.ambit_px:
             raise LithoError(
                 f"batch masks {stack.shape[1:]} smaller than kernel ambit "
                 f"{self.ambit_px}"
             )
+        self._validate_grid(tuple(stack.shape[1:]))
         return stack.astype(np.float64, copy=False)
 
-    def convolve_intensity_batch(self, masks: np.ndarray) -> np.ndarray:
-        """Aerial intensities of a ``(B, H, W)`` mask stack in one sweep.
+    # -- convolution ---------------------------------------------------------
+    def convolve_intensity(self, mask: np.ndarray) -> np.ndarray:
+        """Aerial intensity ``sum_k w_k |h_k * mask|^2`` (circular conv).
 
-        One vectorized forward FFT over the batch axis plus one batched
-        inverse FFT per kernel; bit-for-bit identical to calling
-        :meth:`convolve_intensity` on each mask (same transform algorithm
-        and the same per-kernel accumulation order).
+        This is the retained *spatial reference path*: one full-grid
+        inverse FFT per kernel over the scattered spectra.  ``mask`` is a
+        2-D real array (binary or graytone).
+        """
+        if mask.ndim != 2:
+            raise LithoError(f"mask must be 2-D, got shape {mask.shape}")
+        self._validate_grid(mask.shape)
+        kernel_ffts = self.kernel_spectra(mask.shape)
+        weights = self.weights_for(mask.shape)
+        fft = self.fft
+        mask_fft = fft.fft2(mask.astype(np.float64), axes=(-2, -1))
+        intensity = np.zeros(mask.shape, dtype=np.float64)
+        for weight, kernel_fft in zip(weights, kernel_ffts):
+            field_k = fft.ifft2(mask_fft * kernel_fft, axes=(-2, -1))
+            intensity += weight * (field_k.real**2 + field_k.imag**2)
+        return intensity
+
+    def convolve_intensity_batch(self, masks: np.ndarray) -> np.ndarray:
+        """Aerial intensities of a ``(B, H, W)`` mask stack (unified engine).
+
+        One vectorized forward FFT over the batch axis feeds the
+        band-limited subgrid engine (exact: the spectra carry no energy
+        outside the gathered band).  Per-mask results are bit-for-bit
+        independent of the batch size.
         """
         stack = self.validate_mask_batch(masks)
         mask_ffts = self.fft.fft2(stack, axes=(-2, -1))
@@ -153,21 +408,61 @@ class OpticalKernelSet:
         """Intensities from precomputed ``(B, H, W)`` mask spectra.
 
         Lets callers share one forward FFT across several kernel sets
-        (the simulator's focus + defocus corner sweep): ``fft2`` of the
-        same mask is deterministic, so sharing it preserves bit-for-bit
-        equality with the single-mask path.
+        (the simulator's focus + defocus corner sweep).  Runs the compact
+        pupil-band subgrid engine whenever it saves work; otherwise the
+        full-grid per-kernel loop (always for legacy spatial sets — a
+        cropped kernel is not band-limited, so only the full-grid path is
+        exact for them).
         """
         if mask_ffts.ndim != 3:
             raise LithoError(
                 f"mask spectra must be 3-D (B, H, W), got shape {mask_ffts.shape}"
             )
-        kernel_ffts = self.kernel_spectra(mask_ffts.shape[-2:])
+        shape = tuple(mask_ffts.shape[-2:])
+        self._validate_grid(shape)
+        if self.is_native:
+            band = self.band_spectra(shape)
+            if band.compact:
+                return self._band_intensity(mask_ffts, band)
+        return self._full_grid_intensity(mask_ffts, shape)
+
+    def _band_intensity(
+        self, mask_ffts: np.ndarray, band: GridBandSpectra
+    ) -> np.ndarray:
+        """Exact subgrid engine: gather band, convolve, resample intensity."""
+        rows, cols = band.shape
+        m0, m1 = band.subgrid
+        batch = mask_ffts.shape[0]
+        fft = self.fft
+        sub = np.zeros((batch, m0, m1), dtype=np.complex128)
+        sub[:, band.rows_dst[:, None], band.cols_dst[None, :]] = mask_ffts[
+            :, band.rows_src[:, None], band.cols_src[None, :]
+        ]
+        intensity = np.zeros((batch, m0, m1), dtype=np.float64)
+        for weight, kernel_sub in zip(band.weights, band.sub_spectra):
+            field_k = fft.ifft2(sub * kernel_sub, axes=(-2, -1))
+            intensity += weight * (field_k.real**2 + field_k.imag**2)
+        # Exact zero-padded FFT resampling of the (band-limited) intensity.
+        spectrum = fft.fft2(intensity, axes=(-2, -1))
+        upscale = (rows * cols) / (m0 * m1)
+        full = np.zeros((batch, rows, cols), dtype=np.complex128)
+        full[:, band.up_rows_dst[:, None], band.up_cols_dst[None, :]] = (
+            spectrum[:, band.up_rows_src[:, None], band.up_cols_src[None, :]]
+            * upscale
+        )
+        return fft.ifft2(full, axes=(-2, -1)).real
+
+    def _full_grid_intensity(
+        self, mask_ffts: np.ndarray, shape: tuple[int, int]
+    ) -> np.ndarray:
+        kernel_ffts = self.kernel_spectra(shape)
+        weights = self.weights_for(shape)
         fft = self.fft
         intensity = np.zeros(mask_ffts.shape, dtype=np.float64)
         if fft.name == "scipy" and fft.workers > 1 and mask_ffts.shape[0] > 1:
             # Threaded backend: one (B, H, W) inverse transform per kernel
             # lets the workers split the batch axis.
-            for weight, kernel_fft in zip(self.weights, kernel_ffts):
+            for weight, kernel_fft in zip(weights, kernel_ffts):
                 field_k = fft.ifft2(mask_ffts * kernel_fft, axes=(-2, -1))
                 term = field_k.real**2
                 term += field_k.imag**2
@@ -178,7 +473,7 @@ class OpticalKernelSet:
         # faster than one (B, H, W) batched transform on a single core
         # (smaller working set) and bit-for-bit identical to it.
         for mask_fft, out in zip(mask_ffts, intensity):
-            for weight, kernel_fft in zip(self.weights, kernel_ffts):
+            for weight, kernel_fft in zip(weights, kernel_ffts):
                 field_k = fft.ifft2(mask_fft * kernel_fft, axes=(-2, -1))
                 term = field_k.real**2
                 term += field_k.imag**2
@@ -190,7 +485,8 @@ class OpticalKernelSet:
         """Per-kernel coherent fields ``(K, H, W)`` for one mask spectrum.
 
         Used by gradient-based optimizers (pixel ILT) that need the
-        fields themselves, not just the summed intensity.
+        fields themselves, not just the summed intensity; pair with
+        :meth:`weights_for` on the same shape.
         """
         if mask_fft.ndim != 2:
             raise LithoError(
@@ -199,59 +495,115 @@ class OpticalKernelSet:
         kernel_ffts = self.kernel_spectra(mask_fft.shape)
         return self.fft.ifft2(mask_fft[None] * kernel_ffts, axes=(-2, -1))
 
-    def kernel_spectra(self, shape: tuple[int, int]) -> np.ndarray:
-        """Cached ``(K, H, W)`` kernel FFTs for a grid shape (read-only)."""
-        if len(shape) != 2 or min(shape) < self.ambit_px:
-            raise LithoError(
-                f"grid {shape} cannot hold kernels with ambit {self.ambit_px}"
+    # -- spatial materialization (persistence / visualization) ---------------
+    def spatial_kernels(self) -> tuple[np.ndarray, np.ndarray]:
+        """Canonical spatial ``(weights, kernels)`` for saving / plotting.
+
+        Native sets materialize the square ``period_nm`` lattice once
+        (uncropped — the full periodic kernel) and normalize so an open
+        frame images to 1.0; legacy sets return their stored arrays.
+        """
+        if not self.is_native:
+            return self.weights, self.kernels
+        if self._canonical is None:
+            tcc = build_tcc(
+                self.source,
+                period_nm=self.period_nm,
+                defocus_nm=self.defocus_nm,
+                wavelength_nm=self.wavelength_nm,
+                numerical_aperture=self.numerical_aperture,
             )
-        return self._kernel_ffts((int(shape[0]), int(shape[1])))
+            weights, kernels = socs_kernels(
+                tcc,
+                self.pixel_nm,
+                max_kernels=self.max_kernels,
+                energy_fraction=self.energy_fraction,
+            )
+            sums = kernels.sum(axis=(1, 2))
+            open_frame = float(np.sum(weights * np.abs(sums) ** 2))
+            if open_frame <= 0:
+                raise LithoError(
+                    "kernel set images an open frame to zero intensity"
+                )
+            self._canonical = (weights / open_frame, kernels)
+        return self._canonical
 
-    def _kernel_ffts(self, shape: tuple[int, int]) -> np.ndarray:
-        cached = self._fft_cache.get(shape)
-        if cached is not None:
-            self._fft_cache.move_to_end(shape)
-            return cached
-        c = self.ambit_px
-        half = c // 2
-        stack = np.empty((self.count, *shape), dtype=np.complex128)
-        for k in range(self.count):
-            padded = np.zeros(shape, dtype=np.complex128)
-            padded[:c, :c] = self.kernels[k]
-            # Centre the kernel on pixel (0, 0) for circular convolution.
-            padded = np.roll(padded, (-half, -half), axis=(0, 1))
-            stack[k] = self.fft.fft2(padded, axes=(-2, -1))
-        self._fft_cache[shape] = stack
-        while len(self._fft_cache) > self.fft_cache_capacity:
-            self._fft_cache.popitem(last=False)
-        return stack
-
-    # -- persistence --------------------------------------------------------
+    # -- persistence ---------------------------------------------------------
     def save(self, path: str) -> None:
-        extras = {}
+        """Persist the set: spatial kernels plus (native) optics metadata."""
+        weights, kernels = self.spatial_kernels()
+        extras: dict[str, object] = {}
         if self.cutoff_per_nm is not None:
             extras["cutoff_per_nm"] = self.cutoff_per_nm
+        if self.is_native:
+            extras.update(
+                source_shape=self.source.shape,
+                source_sigma=self.source.sigma,
+                source_sigma_in=self.source.sigma_in,
+                source_sigma_out=self.source.sigma_out,
+                wavelength_nm=self.wavelength_nm,
+                numerical_aperture=self.numerical_aperture,
+                max_kernels=self.max_kernels,
+                energy_fraction=self.energy_fraction,
+                period_nm=self.period_nm,
+            )
         np.savez_compressed(
             path,
-            weights=self.weights,
-            kernels=self.kernels,
+            weights=weights,
+            kernels=kernels,
             pixel_nm=self.pixel_nm,
             defocus_nm=self.defocus_nm,
             **extras,
         )
 
     @classmethod
-    def load(cls, path: str) -> "OpticalKernelSet":
+    def load(
+        cls,
+        path: str,
+        fft_backend: str = "auto",
+        fft_workers: int | None = None,
+    ) -> "OpticalKernelSet":
+        """Reload a saved set.
+
+        The transform backend is an execution choice, not physics, so it
+        is never persisted; pass ``fft_backend="numpy"`` explicitly when
+        bit-for-bit reproducibility with a pre-save numpy-backend set is
+        required (the ``"auto"`` default may resolve to threaded scipy
+        on multi-core hosts, ~1e-12 from numpy).
+        """
         data = np.load(path)
         cutoff = (
             float(data["cutoff_per_nm"]) if "cutoff_per_nm" in data else None
         )
+        if "source_shape" in data:
+            # Full optics metadata present: reconstruct frequency-native.
+            source = SourceSpec(
+                shape=str(data["source_shape"]),
+                sigma=float(data["source_sigma"]),
+                sigma_in=float(data["source_sigma_in"]),
+                sigma_out=float(data["source_sigma_out"]),
+            )
+            return cls(
+                pixel_nm=float(data["pixel_nm"]),
+                defocus_nm=float(data["defocus_nm"]),
+                source=source,
+                wavelength_nm=float(data["wavelength_nm"]),
+                numerical_aperture=float(data["numerical_aperture"]),
+                max_kernels=int(data["max_kernels"]),
+                energy_fraction=float(data["energy_fraction"]),
+                period_nm=float(data["period_nm"]),
+                cutoff_per_nm=cutoff,
+                fft_backend=fft_backend,
+                fft_workers=fft_workers,
+            )
         return cls(
-            weights=data["weights"],
-            kernels=data["kernels"],
             pixel_nm=float(data["pixel_nm"]),
             defocus_nm=float(data["defocus_nm"]),
+            weights=data["weights"],
+            kernels=data["kernels"],
             cutoff_per_nm=cutoff,
+            fft_backend=fft_backend,
+            fft_workers=fft_workers,
         )
 
 
@@ -261,7 +613,6 @@ def build_kernel_set(
     defocus_nm: float = 0.0,
     source: SourceSpec = SourceSpec(),
     period_nm: float = 2048.0,
-    ambit_nm: float = 512.0,
     max_kernels: int = 12,
     energy_fraction: float = 0.995,
     wavelength_nm: float = WAVELENGTH_NM,
@@ -269,42 +620,24 @@ def build_kernel_set(
     fft_backend: str = "auto",
     fft_workers: int | None = None,
 ) -> OpticalKernelSet:
-    """Build (and cache) an :class:`OpticalKernelSet` for one focus setting.
+    """Build (and cache) a frequency-native :class:`OpticalKernelSet`.
 
-    The TCC is computed on a lattice with period ``period_nm``, kernels are
-    cropped to ``ambit_nm`` (they decay over a few hundred nm), and the set
-    is rescaled so an open-frame mask images to intensity exactly 1.
+    Construction is lazy: per-grid band spectra are built on first use
+    for each simulated shape.  ``period_nm`` only sizes the canonical
+    square-lattice spatial materialization used for persistence and
+    visualization — there is no ambit crop anywhere, which is what makes
+    the compact band engine exact.
     """
-    tcc = build_tcc(
-        source,
-        period_nm=period_nm,
-        defocus_nm=defocus_nm,
-        wavelength_nm=wavelength_nm,
-        numerical_aperture=numerical_aperture,
-    )
-    weights, full_kernels = socs_kernels(
-        tcc, pixel_nm, max_kernels=max_kernels, energy_fraction=energy_fraction
-    )
-
-    n = full_kernels.shape[1]
-    crop = int(round(ambit_nm / pixel_nm)) | 1  # odd size keeps a centre pixel
-    crop = min(crop, n)
-    lo = (n - crop) // 2
-    kernels = full_kernels[:, lo : lo + crop, lo : lo + crop].copy()
-
-    sums = kernels.sum(axis=(1, 2))
-    open_frame = float(np.sum(weights * np.abs(sums) ** 2))
-    if open_frame <= 0:
-        raise LithoError("kernel set images an open frame to zero intensity")
-    weights = weights / open_frame
-
     return OpticalKernelSet(
-        weights=weights,
-        kernels=kernels,
         pixel_nm=pixel_nm,
         defocus_nm=defocus_nm,
-        cutoff_per_nm=(1.0 + source.sigma_out) * numerical_aperture
-        / wavelength_nm,
+        source=source,
+        wavelength_nm=wavelength_nm,
+        numerical_aperture=numerical_aperture,
+        max_kernels=max_kernels,
+        energy_fraction=energy_fraction,
+        period_nm=period_nm,
+        cutoff_per_nm=numerical_aperture / wavelength_nm,
         fft_backend=fft_backend,
         fft_workers=fft_workers,
     )

@@ -3,49 +3,54 @@
 :class:`LithographySimulator` is what the OPC engines talk to: it turns a
 mask (polygons or a :class:`~repro.geometry.mask_edit.MaskState`) into
 aerial and printed images at every process corner, reusing optical kernels
-and kernel FFTs across the thousands of evaluations an OPC run makes.
+and cached per-grid band spectra across the thousands of evaluations an
+OPC run makes.
 
-Architecture — single-mask vs batched engine
---------------------------------------------
+Architecture — one exact engine
+-------------------------------
 
-Two simulation entry points cover every workload:
+Kernels are *frequency-native*: for every grid shape the TCC is built
+directly on that grid's DFT frequency lattice and eigendecomposed into
+SOCS spectra that are exactly zero outside the pupil band (no spatial
+ambit crop anywhere — see :mod:`repro.litho.kernels`).  That makes the
+compact pupil-band subgrid engine exact, so there is a single simulation
+engine with two entry points:
 
-* :meth:`LithographySimulator.simulate_mask` — the single-mask reference
-  path.  One mask in, one :class:`LithoResult` out; each aerial image is
-  computed independently.  Use it for one-off simulations, debugging and
-  as the numerical reference that everything else is tested against.
+* :meth:`LithographySimulator.simulate_mask` — the single-mask *spatial
+  reference path*: one full-grid inverse FFT per kernel.  Slow, simple,
+  and the numerical reference everything else is tested against (golden
+  images in ``tests/golden/``, exactness tests in
+  ``tests/test_litho_band.py``).
 
-* :meth:`LithographySimulator.simulate_batch` — the batched engine.  It
-  stacks B same-shape masks into a ``(B, H, W)`` array, computes a single
-  vectorized forward FFT, *shares those mask spectra across the focus and
-  defocus kernel sets* (all three process corners come from one forward
-  transform), and runs batched inverse FFTs per kernel.  Results are
-  bit-for-bit identical to B calls of :meth:`simulate_mask` — the
-  transforms are the same algorithm applied slice-wise and the per-kernel
-  accumulation order is preserved — so callers switch freely on batch
-  size alone.  Prefer it whenever several masks are in flight at once:
-  RL candidate-action scoring (:meth:`repro.rl.env.OPCEnvironment.score_moves`),
-  suite-level verification sweeps (:func:`repro.eval.runner.run_engine_on_suite`),
-  and per-iteration corner sweeps inside the baselines.
+* :meth:`LithographySimulator.simulate_batch` — the production engine.
+  It stacks B same-shape masks into a ``(B, H, W)`` array, computes a
+  single vectorized forward FFT, *shares those mask spectra across the
+  focus and defocus kernel sets* (all three process corners come from
+  one forward transform), and runs the per-kernel inverse FFTs on the
+  compact pupil-band subgrid with one exact zero-padded FFT resample of
+  the intensity per corner.  Results match :meth:`simulate_mask` to FFT
+  round-off (far below the 1e-9 golden tolerance) and are bit-for-bit
+  independent of the batch size, at what used to be screening speed —
+  formerly-"spectral" throughput is now legal for reported EPE/PV-band
+  metrology.  ``benchmarks/bench_batch_litho.py`` gates >= 3x over the
+  per-mask reference loop at B=8.
 
-``simulate_batch(mode="spectral")`` swaps in the band-limited screening
-engine (:mod:`repro.litho.spectral`): ~3-6x faster, ~1e-3 max intensity
-error, intended for ranking candidate masks — never for reported
-metrology.  Kernel FFTs live in a bounded per-shape LRU on each
-:class:`~repro.litho.kernels.OpticalKernelSet`, shared by both paths and
-by every batch shape on the same grid.
+The old ``mode="spectral"`` screening split is retired: ``mode=`` is
+accepted as a deprecated no-op (every call is exact now) and warns;
+unknown modes still raise.
 
 FFT backend
 -----------
 
-Every forward/inverse transform (both engines, both modes) runs through
-the pluggable backend of :mod:`repro.litho.fft`, selected by
-``LithoConfig.fft_backend``: ``"numpy"`` (single-threaded, the backend
-the committed goldens were generated with), ``"scipy"`` (threaded via
-``workers=``, ~1e-12 from numpy — inside the 1e-9 golden tolerance but
-not bit-for-bit), or ``"auto"`` (scipy with threads on multi-core hosts
-when scipy is importable, numpy otherwise).  Batch-vs-single parity is
-bit-for-bit under any one backend because both paths share it.
+Every forward/inverse transform runs through the pluggable backend of
+:mod:`repro.litho.fft`, selected by ``LithoConfig.fft_backend``:
+``"numpy"`` (single-threaded, the backend the committed goldens were
+generated with), ``"scipy"`` (threaded via ``workers=``, ~1e-12 from
+numpy — inside the 1e-9 golden tolerance but not bit-for-bit), or
+``"auto"`` (scipy with threads on multi-core hosts when scipy is
+importable, numpy otherwise).  Batch-vs-single-mask parity within the
+batched engine is bit-for-bit under any one backend because every path
+shares it, and all FFT-derived caches are keyed by backend identity.
 
 Batched metrology contract
 --------------------------
@@ -65,6 +70,7 @@ follow this two-call pattern.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -86,7 +92,23 @@ from repro.litho.kernels import OpticalKernelSet, build_kernel_set
 from repro.litho.process import ProcessCorner, standard_corners
 from repro.litho.resist import printed_image
 from repro.litho.source import SourceSpec
-from repro.litho.spectral import SpectralConvolver
+
+
+def _warn_deprecated_mode(mode: str | None) -> None:
+    """Thin shim for retired ``mode=`` arguments: warn, never change math."""
+    if mode is None:
+        return
+    if mode not in ("exact", "spectral"):
+        raise LithoError(
+            f"unknown simulation mode {mode!r}; the unified engine accepts "
+            "only the deprecated values 'exact' and 'spectral'"
+        )
+    warnings.warn(
+        "simulation mode= is deprecated and ignored: the unified "
+        "band-limited engine is always exact",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass(frozen=True)
@@ -99,7 +121,12 @@ class LithoConfig:
     dose_variation: float = DOSE_VARIATION
     source: SourceSpec = SourceSpec()
     period_nm: float = 2048.0
+    """Square-lattice period of the canonical spatial kernel
+    materialization (persistence / visualization).  Simulation lattices
+    are per-grid and do not use it."""
     ambit_nm: float = 512.0
+    """Deprecated and ignored: kernels are no longer spatially cropped.
+    Retained so existing configs keep constructing."""
     max_kernels: int = 12
     energy_fraction: float = 0.995
     fft_backend: str = "auto"
@@ -111,8 +138,8 @@ class LithoConfig:
     def __post_init__(self) -> None:
         if self.pixel_nm <= 0:
             raise LithoError("pixel_nm must be positive")
-        if self.ambit_nm > self.period_nm:
-            raise LithoError("kernel ambit cannot exceed the lattice period")
+        if self.period_nm <= 0:
+            raise LithoError("period_nm must be positive")
         resolve_fft_backend(self.fft_backend, self.fft_workers)
 
 
@@ -146,9 +173,6 @@ class LithographySimulator:
     _kernel_sets: dict[float, OpticalKernelSet] = field(
         default_factory=dict, repr=False
     )
-    _spectral: dict[float, SpectralConvolver] = field(
-        default_factory=dict, repr=False
-    )
 
     def kernel_set(self, defocus_nm: float = 0.0) -> OpticalKernelSet:
         """Kernels for one focus condition (built once, then cached)."""
@@ -159,21 +183,12 @@ class LithographySimulator:
                 defocus_nm=defocus_nm,
                 source=cfg.source,
                 period_nm=cfg.period_nm,
-                ambit_nm=cfg.ambit_nm,
                 max_kernels=cfg.max_kernels,
                 energy_fraction=cfg.energy_fraction,
                 fft_backend=cfg.fft_backend,
                 fft_workers=cfg.fft_workers,
             )
         return self._kernel_sets[defocus_nm]
-
-    def spectral_convolver(self, defocus_nm: float = 0.0) -> SpectralConvolver:
-        """Band-limited screening engine for one focus condition (cached)."""
-        if defocus_nm not in self._spectral:
-            self._spectral[defocus_nm] = SpectralConvolver(
-                self.kernel_set(defocus_nm)
-            )
-        return self._spectral[defocus_nm]
 
     def corners(self) -> tuple[ProcessCorner, ProcessCorner, ProcessCorner]:
         return standard_corners(self.config.defocus_nm, self.config.dose_variation)
@@ -189,11 +204,12 @@ class LithographySimulator:
 
     # -- simulation -----------------------------------------------------------
     def aerial(self, mask: np.ndarray, defocus_nm: float = 0.0) -> np.ndarray:
-        """Aerial intensity of a rasterized mask at one focus setting."""
+        """Aerial intensity of a rasterized mask at one focus setting
+        (spatial reference path)."""
         return self.kernel_set(defocus_nm).convolve_intensity(mask)
 
     def simulate_mask(self, mask: np.ndarray, grid: Grid) -> LithoResult:
-        """Full corner sweep for a rasterized mask."""
+        """Full corner sweep for a rasterized mask (reference path)."""
         nominal, inner, outer = self.corners()
         aerial_focus = self.aerial(mask, defocus_nm=nominal.defocus_nm)
         aerial_defocus = self.aerial(mask, defocus_nm=inner.defocus_nm)
@@ -215,23 +231,21 @@ class LithographySimulator:
         self,
         masks: Sequence[np.ndarray] | np.ndarray,
         grid: Grid,
-        mode: str = "exact",
+        mode: str | None = None,
     ) -> list[LithoResult]:
         """Full corner sweep for a stack of same-shape rasterized masks.
 
         ``masks`` is a ``(B, H, W)`` array or a sequence of B ``(H, W)``
         masks on ``grid``.  One shared forward FFT feeds both the focus
         and defocus kernel sets, so all three process corners come from a
-        single batched transform pipeline.  With ``mode="exact"`` (the
-        default) the returned results are bit-for-bit identical to B
-        calls of :meth:`simulate_mask`; ``mode="spectral"`` swaps in the
-        band-limited screening engine (~1e-3 intensity error, several
-        times faster — for candidate ranking only).
+        single batched transform pipeline running the exact pupil-band
+        subgrid engine.  Results match :meth:`simulate_mask` to FFT
+        round-off and are bit-for-bit independent of the batch size.
+
+        ``mode`` is deprecated and ignored (the engine is always exact);
+        passing ``"exact"`` or ``"spectral"`` warns, anything else raises.
         """
-        if mode not in ("exact", "spectral"):
-            raise LithoError(
-                f"unknown simulation mode {mode!r}; choose 'exact' or 'spectral'"
-            )
+        _warn_deprecated_mode(mode)
         if isinstance(masks, np.ndarray):
             stack = masks
         else:
@@ -254,16 +268,8 @@ class LithographySimulator:
                 f"{grid.shape}"
             )
         mask_ffts = focus_set.fft.fft2(stack, axes=(-2, -1))
-        if mode == "spectral":
-            aerial_focus = self.spectral_convolver(
-                nominal.defocus_nm
-            ).intensity_from_mask_ffts(mask_ffts)
-            aerial_defocus = self.spectral_convolver(
-                inner.defocus_nm
-            ).intensity_from_mask_ffts(mask_ffts)
-        else:
-            aerial_focus = focus_set.intensity_from_mask_ffts(mask_ffts)
-            aerial_defocus = defocus_set.intensity_from_mask_ffts(mask_ffts)
+        aerial_focus = focus_set.intensity_from_mask_ffts(mask_ffts)
+        aerial_defocus = defocus_set.intensity_from_mask_ffts(mask_ffts)
         threshold = self.config.threshold
         results = []
         for focus_b, defocus_b in zip(aerial_focus, aerial_defocus):
@@ -286,9 +292,10 @@ class LithographySimulator:
     ) -> LithoResult:
         """Rasterize + simulate through the batched engine (B = 1).
 
-        Same results as :meth:`simulate_mask` bit-for-bit, but all three
-        corners share one forward FFT — this is the per-iteration corner
-        sweep used by every OPC engine via :meth:`simulate_state`.
+        Matches :meth:`simulate_mask` to FFT round-off while all three
+        corners share one forward FFT on the compact band subgrid — this
+        is the per-iteration corner sweep used by every OPC engine via
+        :meth:`simulate_state`.
         """
         mask = self.rasterize_mask(polygons, grid)
         return self.simulate_batch(mask[None], grid)[0]

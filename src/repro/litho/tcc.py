@@ -9,8 +9,20 @@ source.  Diagonalizing the (Hermitian, PSD) TCC gives the sum-of-coherent-
 systems form ``I(x) = sum_k w_k |(h_k * m)(x)|^2`` — the optical kernels
 every fast OPC simulator uses.
 
-We discretize both source and pupil shifts on a frequency lattice of
-spacing ``1 / period_nm`` and build the TCC as a Gram matrix ``A^H A`` with
+Two lattice conventions are supported:
+
+* :func:`build_tcc` — a square lattice of spacing ``1 / period_nm``,
+  used for the canonical spatial kernels kept for persistence and
+  visualization (:func:`socs_kernels`).
+* :func:`build_tcc_grid` — the *frequency-native* path: the lattice is
+  exactly the DFT frequency grid of one simulation raster (per-axis
+  spacing ``1 / (n_pixels * pixel_nm)``, anisotropic for non-square
+  grids).  Eigenvectors of this TCC are SOCS kernel spectra defined
+  directly on that raster's pupil-band frequency subgrid — no spatial
+  sampling, no ambit crop, hence exactly band-limited on the grid they
+  will convolve (:class:`repro.litho.kernels.GridBandSpectra`).
+
+Either way the TCC is a Gram matrix ``A^H A`` with
 ``A[s, a] = sqrt(J_s) * P(f_s + f_a)``, which keeps it exactly PSD.
 """
 
@@ -33,12 +45,32 @@ class TCCResult:
     Attributes:
         matrix: ``(n, n)`` Hermitian TCC over pupil-shift samples.
         shift_indices: ``(n, 2)`` integer lattice coordinates of each sample.
-        lattice_spacing: Frequency-lattice pitch (cycles/nm).
+        lattice_spacing_rc: Per-axis frequency-lattice pitch (cycles/nm),
+            ``(row, col)``; equal for square lattices.
     """
 
     matrix: np.ndarray
     shift_indices: np.ndarray
-    lattice_spacing: float
+    lattice_spacing_rc: tuple[float, float]
+
+    @property
+    def lattice_spacing(self) -> float:
+        """Isotropic lattice pitch; only valid for square lattices."""
+        row, col = self.lattice_spacing_rc
+        if row != col:
+            raise LithoError(
+                "anisotropic TCC lattice has no single spacing; "
+                "use lattice_spacing_rc"
+            )
+        return row
+
+    @property
+    def band_radii(self) -> tuple[int, int]:
+        """Largest absolute lattice index per axis (kernel band support)."""
+        return (
+            int(np.abs(self.shift_indices[:, 0]).max()),
+            int(np.abs(self.shift_indices[:, 1]).max()),
+        )
 
 
 def frequency_lattice(radius_units: int) -> np.ndarray:
@@ -50,35 +82,51 @@ def frequency_lattice(radius_units: int) -> np.ndarray:
     return pts[keep]
 
 
-def build_tcc(
-    source: SourceSpec,
-    period_nm: float,
-    defocus_nm: float = 0.0,
-    wavelength_nm: float = WAVELENGTH_NM,
-    numerical_aperture: float = NUMERICAL_APERTURE,
-) -> TCCResult:
-    """Build the TCC on a lattice with spacing ``1 / period_nm``.
+def elliptic_lattice(
+    max_row: int, max_col: int, spacing_row: float, spacing_col: float,
+    cutoff: float,
+) -> np.ndarray:
+    """Integer lattice points whose physical frequency is within ``cutoff``.
 
-    ``period_nm`` is the spatial period of the resulting kernels; it should
-    comfortably exceed the optical ambit (defaults elsewhere use ~2 um).
+    Generalizes :func:`frequency_lattice` to anisotropic spacings: the
+    disk ``|f| <= cutoff`` becomes an ellipse in index space.
     """
-    if period_nm <= 0:
-        raise LithoError(f"period must be positive, got {period_nm}")
-    df = 1.0 / period_nm
+    ii, jj = np.meshgrid(
+        np.arange(-max_row, max_row + 1),
+        np.arange(-max_col, max_col + 1),
+        indexing="ij",
+    )
+    pts = np.stack([ii.ravel(), jj.ravel()], axis=1)
+    f_sq = (pts[:, 0] * spacing_row) ** 2 + (pts[:, 1] * spacing_col) ** 2
+    return pts[f_sq <= cutoff * cutoff]
+
+
+def _assemble_tcc(
+    source: SourceSpec,
+    shift_indices: np.ndarray,
+    spacing_rc: tuple[float, float],
+    defocus_nm: float,
+    wavelength_nm: float,
+    numerical_aperture: float,
+) -> TCCResult:
+    """Gram-matrix TCC over the given pupil-shift lattice.
+
+    The source is discretized on the same lattice spacing (quadrature of
+    the Hopkins source integral; refining it further moves intensities by
+    under ~3e-3, well inside the model error of the physics class).
+    """
+    df_r, df_c = spacing_rc
     cutoff = numerical_aperture / wavelength_nm
+    shifts = shift_indices * np.array([df_r, df_c])
 
-    pupil_radius_units = int(np.floor(cutoff / df))
-    if pupil_radius_units < 2:
-        raise LithoError(
-            f"frequency lattice too coarse: pupil radius is only "
-            f"{pupil_radius_units} samples (period {period_nm} nm)"
-        )
-    shift_indices = frequency_lattice(pupil_radius_units)
-    shifts = shift_indices * df
-
-    source_radius_units = int(np.ceil(source.outer_sigma * cutoff / df))
-    source_indices = frequency_lattice(source_radius_units)
-    source_freqs = source_indices * df
+    source_max_r = int(np.ceil(source.outer_sigma * cutoff / df_r))
+    source_max_c = int(np.ceil(source.outer_sigma * cutoff / df_c))
+    ii, jj = np.meshgrid(
+        np.arange(-source_max_r, source_max_r + 1),
+        np.arange(-source_max_c, source_max_c + 1),
+        indexing="ij",
+    )
+    source_freqs = np.stack([ii.ravel() * df_r, jj.ravel() * df_c], axis=1)
     weights = source_weights(source, source_freqs, cutoff)
     active = weights > 0
     source_freqs = source_freqs[active]
@@ -95,29 +143,95 @@ def build_tcc(
     ).reshape(len(source_freqs), len(shifts))
     amplitude = np.sqrt(weights)[:, None] * pupil
     tcc = amplitude.conj().T @ amplitude / weights.sum()
-    return TCCResult(matrix=tcc, shift_indices=shift_indices, lattice_spacing=df)
+    return TCCResult(
+        matrix=tcc, shift_indices=shift_indices, lattice_spacing_rc=(df_r, df_c)
+    )
 
 
-def socs_kernels(
-    tcc: TCCResult,
+def build_tcc(
+    source: SourceSpec,
+    period_nm: float,
+    defocus_nm: float = 0.0,
+    wavelength_nm: float = WAVELENGTH_NM,
+    numerical_aperture: float = NUMERICAL_APERTURE,
+) -> TCCResult:
+    """Build the TCC on a square lattice with spacing ``1 / period_nm``.
+
+    ``period_nm`` is the spatial period of the resulting kernels; it should
+    comfortably exceed the optical ambit (defaults elsewhere use ~2 um).
+    """
+    if period_nm <= 0:
+        raise LithoError(f"period must be positive, got {period_nm}")
+    df = 1.0 / period_nm
+    cutoff = numerical_aperture / wavelength_nm
+
+    pupil_radius_units = int(np.floor(cutoff / df))
+    if pupil_radius_units < 2:
+        raise LithoError(
+            f"frequency lattice too coarse: pupil radius is only "
+            f"{pupil_radius_units} samples (period {period_nm} nm)"
+        )
+    shift_indices = frequency_lattice(pupil_radius_units)
+    return _assemble_tcc(
+        source, shift_indices, (df, df), defocus_nm,
+        wavelength_nm, numerical_aperture,
+    )
+
+
+def build_tcc_grid(
+    source: SourceSpec,
+    shape: tuple[int, int],
     pixel_nm: float,
+    defocus_nm: float = 0.0,
+    wavelength_nm: float = WAVELENGTH_NM,
+    numerical_aperture: float = NUMERICAL_APERTURE,
+) -> TCCResult:
+    """Build the TCC directly on one raster's DFT frequency lattice.
+
+    The lattice spacing is ``1 / (rows * pixel_nm)`` per row and
+    ``1 / (cols * pixel_nm)`` per column, so the resulting eigenvectors
+    are kernel spectra sampled *exactly* at the grid's FFT bins: circular
+    convolution with them on that grid is the exact Hopkins image of the
+    ``shape``-periodic mask, with no spatial crop anywhere.
+    """
+    rows, cols = int(shape[0]), int(shape[1])
+    if rows < 2 or cols < 2 or pixel_nm <= 0:
+        raise LithoError(
+            f"bad raster for TCC lattice: shape {shape}, pixel {pixel_nm} nm"
+        )
+    df_r = 1.0 / (rows * pixel_nm)
+    df_c = 1.0 / (cols * pixel_nm)
+    cutoff = numerical_aperture / wavelength_nm
+
+    # The pupil band must fit under the grid Nyquist on both axes.
+    max_r = min(int(np.floor(cutoff / df_r)), (rows - 1) // 2)
+    max_c = min(int(np.floor(cutoff / df_c)), (cols - 1) // 2)
+    if min(max_r, max_c) < 2:
+        raise LithoError(
+            f"frequency lattice too coarse for grid {rows}x{cols} at "
+            f"{pixel_nm} nm: pupil band is only ({max_r}, {max_c}) samples "
+            f"— enlarge the simulation window"
+        )
+    shift_indices = elliptic_lattice(max_r, max_c, df_r, df_c, cutoff)
+    return _assemble_tcc(
+        source, shift_indices, (df_r, df_c), defocus_nm,
+        wavelength_nm, numerical_aperture,
+    )
+
+
+def socs_spectra(
+    tcc: TCCResult,
     max_kernels: int = 12,
     energy_fraction: float = 0.995,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Eigendecompose a TCC into spatial SOCS kernels.
-
-    Args:
-        tcc: Output of :func:`build_tcc`.
-        pixel_nm: Raster pitch of the target mask grids.
-        max_kernels: Hard cap on the number of kernels kept.
-        energy_fraction: Keep the smallest kernel count whose eigenvalue
-            mass reaches this fraction of the total.
+    """Eigendecompose a TCC into SOCS kernel *spectra*.
 
     Returns:
-        ``(weights, kernels)``: weights ``(K,)`` (eigenvalues, descending)
-        and complex spatial kernels ``(K, N, N)`` sampled at ``pixel_nm``
-        with the kernel centre at the array centre.  ``N`` is the lattice
-        period divided by the pixel size.
+        ``(weights, coefficients)``: weights ``(K,)`` (eigenvalues,
+        descending) and complex coefficients ``(K, n)`` aligned with
+        ``tcc.shift_indices`` — kernel ``k``'s spectrum is
+        ``coefficients[k, a]`` at lattice point ``shift_indices[a]`` and
+        exactly zero elsewhere.
     """
     if not 0 < energy_fraction <= 1:
         raise LithoError(f"energy_fraction must be in (0, 1], got {energy_fraction}")
@@ -132,7 +246,33 @@ def socs_kernels(
     cumulative = np.cumsum(eigvals) / total
     count = int(np.searchsorted(cumulative, energy_fraction) + 1)
     count = min(count, max_kernels, len(eigvals))
+    return eigvals[:count], np.ascontiguousarray(eigvecs[:, :count].T)
 
+
+def socs_kernels(
+    tcc: TCCResult,
+    pixel_nm: float,
+    max_kernels: int = 12,
+    energy_fraction: float = 0.995,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Materialize SOCS kernels spatially (persistence / visualization).
+
+    Args:
+        tcc: Output of :func:`build_tcc` (square lattice).
+        pixel_nm: Raster pitch to sample the kernels at.
+        max_kernels: Hard cap on the number of kernels kept.
+        energy_fraction: Keep the smallest kernel count whose eigenvalue
+            mass reaches this fraction of the total.
+
+    Returns:
+        ``(weights, kernels)``: weights ``(K,)`` (eigenvalues, descending)
+        and complex spatial kernels ``(K, N, N)`` sampled at ``pixel_nm``
+        with the kernel centre at the array centre.  ``N`` is the lattice
+        period divided by the pixel size.
+    """
+    weights, coefficients = socs_spectra(
+        tcc, max_kernels=max_kernels, energy_fraction=energy_fraction
+    )
     period_nm = 1.0 / tcc.lattice_spacing
     n_pixels = int(round(period_nm / pixel_nm))
     if n_pixels < 8:
@@ -141,12 +281,13 @@ def socs_kernels(
             f"decrease pixel size or increase period"
         )
 
+    count = len(weights)
     kernels = np.empty((count, n_pixels, n_pixels), dtype=np.complex128)
+    rows = tcc.shift_indices[:, 0] % n_pixels
+    cols = tcc.shift_indices[:, 1] % n_pixels
     for k in range(count):
         spectrum = np.zeros((n_pixels, n_pixels), dtype=np.complex128)
-        rows = tcc.shift_indices[:, 0] % n_pixels
-        cols = tcc.shift_indices[:, 1] % n_pixels
-        spectrum[rows, cols] = eigvecs[:, k]
+        spectrum[rows, cols] = coefficients[k]
         spatial = np.fft.ifft2(spectrum) * (n_pixels * n_pixels)
         kernels[k] = np.fft.fftshift(spatial)
-    return eigvals[:count], kernels
+    return weights, kernels

@@ -141,14 +141,14 @@ class OPCEnvironment:
         return self._metrology(mask, self.simulator.simulate_state(mask, self.grid))
 
     def evaluate_batch(
-        self, masks: Sequence[MaskState], mode: str = "exact"
+        self, masks: Sequence[MaskState], mode: str | None = None
     ) -> list[EnvState]:
         """Evaluate several mask states: one batched litho call followed
         by one batched metrology call.
 
         Results are bit-for-bit identical to mapping :meth:`evaluate`
-        over ``masks`` (``mode="exact"``); ``mode="spectral"`` uses the
-        screening engine for cheap candidate ranking.
+        over ``masks``.  ``mode`` is deprecated and ignored (the unified
+        engine is always exact).
         """
         if not masks:
             raise RLError("evaluate_batch needs at least one mask state")
@@ -158,16 +158,31 @@ class OPCEnvironment:
         results = self.simulator.simulate_batch(images, self.grid, mode=mode)
         return self._metrology_batch(masks, results)
 
-    def reset(self, bias_nm: float | None = None) -> EnvState:
-        """Initial state; ``bias_nm`` overrides the configured initial bias
-        (used to diversify imitation-phase starting points)."""
-        mask = MaskState.initial(
+    def _initial_mask(self, bias_nm: float | None = None) -> MaskState:
+        return MaskState.initial(
             self.clip,
             self.segments,
             bias_nm=self.initial_bias_nm if bias_nm is None else bias_nm,
             max_offset=self.max_offset_nm,
         )
-        return self.evaluate(mask)
+
+    def reset(self, bias_nm: float | None = None) -> EnvState:
+        """Initial state; ``bias_nm`` overrides the configured initial bias
+        (used to diversify imitation-phase starting points)."""
+        return self.evaluate(self._initial_mask(bias_nm))
+
+    def reset_population(self, bias_nms: Sequence[float]) -> list[EnvState]:
+        """Evaluated initial states for P per-trajectory start biases.
+
+        All P starting masks go through one batched litho + metrology
+        call; entry ``p`` is bit-for-bit identical to
+        ``reset(bias_nm=bias_nms[p])``.  Used to diversify population
+        training starts (deterministic bias jitter)."""
+        if not len(bias_nms):
+            raise RLError("reset_population needs at least one bias")
+        return self.evaluate_batch(
+            [self._initial_mask(bias) for bias in bias_nms]
+        )
 
     # -- transitions ------------------------------------------------------------
     def _validate_actions(self, actions: np.ndarray) -> np.ndarray:
@@ -208,7 +223,7 @@ class OPCEnvironment:
         self,
         states: Sequence[EnvState],
         action_indices: np.ndarray,
-        mode: str = "exact",
+        mode: str | None = None,
     ) -> list[tuple[EnvState, float]]:
         """Advance P states by one action vector each, in lockstep.
 
@@ -216,8 +231,9 @@ class OPCEnvironment:
         ``states[p]``.  One batched litho call plus one batched metrology
         call cover the whole population, and every ``(next_state,
         reward)`` pair is bit-for-bit identical to :meth:`step` on that
-        state alone (``mode="exact"``).  This is the transition primitive
-        of population-based training and lockstep teacher rollouts.
+        state alone.  This is the transition primitive of
+        population-based training and lockstep teacher rollouts.
+        ``mode`` is deprecated and ignored.
         """
         actions = np.asarray(action_indices)
         if actions.ndim != 2 or actions.shape[0] != len(states) or not len(states):
@@ -248,14 +264,14 @@ class OPCEnvironment:
         self,
         state: EnvState,
         candidate_actions: np.ndarray,
-        mode: str = "exact",
+        mode: str | None = None,
     ) -> list[tuple[EnvState, float]]:
         """Evaluate A candidate action vectors in one batched litho call.
 
         ``candidate_actions`` is ``(A, n_segments)`` movement indices;
         returns one ``(next_state, reward)`` pair per candidate, each
         bit-for-bit identical to what :meth:`step` would have produced
-        for that candidate (``mode="exact"``).
+        for that candidate.  ``mode`` is deprecated and ignored.
         """
         candidates = np.asarray(candidate_actions)
         if candidates.ndim != 2 or candidates.shape[0] == 0:

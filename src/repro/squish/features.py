@@ -17,6 +17,15 @@ moved off the target shows up as an occupancy difference between channels
 0 and 3, which a small CNN can read directly.  Because both patterns share
 the scanline grid, their adaptive re-gridding stays cell-aligned.
 
+Population batching: :meth:`NodeFeatureEncoder.encode_all_population`
+encodes all P population members of a segment through *one* scanline
+union (the target edges plus every member's mask edges).  The union grid
+is a refinement of each member's own grid, so the encoded geometry is
+unchanged, and the target channels become identical across members — one
+target encode per segment replaces P.  With a single state the union
+degenerates to exactly the per-window grid, so P=1 encodings are
+bit-for-bit identical to :meth:`encode_all`.
+
 RL-OPC's original 3-channel encoding (mask only) is exposed separately for
 the baseline.
 """
@@ -24,6 +33,7 @@ the baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -59,10 +69,25 @@ class NodeFeatureEncoder:
         if self.channels not in (3, 6):
             raise SquishError("channels must be 3 (mask only) or 6 (CAMO)")
 
+    def _window(self, segment: Segment) -> Rect:
+        cx, cy = segment.control
+        return Rect.from_center(cx, cy, self.window_nm, self.window_nm)
+
+    def _mask_tensor(
+        self,
+        mask_polys: list[Polygon],
+        window: Rect,
+        extra_x: Sequence[float],
+        extra_y: Sequence[float],
+    ) -> np.ndarray:
+        pattern = encode_squish(
+            mask_polys, window, extra_x=extra_x, extra_y=extra_y
+        )
+        return adaptive_squish_tensor(pattern, self.out_size, self.out_size)
+
     def encode_segment(self, state: MaskState, segment: Segment) -> np.ndarray:
         """Feature tensor ``(channels, out_size, out_size)`` for one node."""
-        cx, cy = segment.control
-        window = Rect.from_center(cx, cy, self.window_nm, self.window_nm)
+        window = self._window(segment)
         mask_polys = _clip_polygons(state.mask_polygons(), window)
 
         if self.channels == 3:
@@ -70,15 +95,12 @@ class NodeFeatureEncoder:
             return adaptive_squish_tensor(mask_pattern, self.out_size, self.out_size)
 
         target_polys = _clip_polygons(state.clip.targets, window)
-        target_x, target_y = _vertex_scanlines(target_polys, window)
-        mask_x, mask_y = _vertex_scanlines(mask_polys, window)
-        mask_pattern = encode_squish(
-            mask_polys, window, extra_x=target_x, extra_y=target_y
-        )
+        target_x, target_y = _vertex_scanlines(target_polys)
+        mask_x, mask_y = _vertex_scanlines(mask_polys)
+        tensor = self._mask_tensor(mask_polys, window, target_x, target_y)
         target_pattern = encode_squish(
             target_polys, window, extra_x=mask_x, extra_y=mask_y
         )
-        tensor = adaptive_squish_tensor(mask_pattern, self.out_size, self.out_size)
         tensor_t = adaptive_squish_tensor(target_pattern, self.out_size, self.out_size)
         return np.concatenate([tensor, tensor_t], axis=0)
 
@@ -86,6 +108,75 @@ class NodeFeatureEncoder:
         """Feature tensors for every segment: ``(n, channels, s, s)``."""
         return np.stack(
             [self.encode_segment(state, seg) for seg in state.segments]
+        )
+
+    # -- population batching -------------------------------------------------
+    def encode_segment_population(
+        self, states: Sequence[MaskState], segment: Segment
+    ) -> np.ndarray:
+        """``(P, channels, s, s)`` tensors for one segment across P states.
+
+        All members share one scanline union (target edges + every
+        member's mask edges), so the target channels are encoded once and
+        broadcast.  With ``P == 1`` the union equals the per-window grid
+        and the result is bit-for-bit :meth:`encode_segment`.
+        """
+        if not states:
+            raise SquishError("population encoding needs at least one state")
+        window = self._window(segment)
+        members = [
+            _clip_polygons(state.mask_polygons(), window) for state in states
+        ]
+        target_polys = _clip_polygons(states[0].clip.targets, window)
+        union_x, union_y = _vertex_scanlines(target_polys)
+        for mask_polys in members:
+            mask_x, mask_y = _vertex_scanlines(mask_polys)
+            union_x = union_x + mask_x
+            union_y = union_y + mask_y
+        target_pattern = encode_squish(
+            target_polys, window, extra_x=union_x, extra_y=union_y
+        )
+        tensor_t = adaptive_squish_tensor(
+            target_pattern, self.out_size, self.out_size
+        )
+        return np.stack(
+            [
+                np.concatenate(
+                    [
+                        self._mask_tensor(mask_polys, window, union_x, union_y),
+                        tensor_t,
+                    ],
+                    axis=0,
+                )
+                for mask_polys in members
+            ]
+        )
+
+    def encode_all_population(
+        self, states: Sequence[MaskState]
+    ) -> np.ndarray:
+        """Feature tensors for P lockstep states: ``(P, n, channels, s, s)``.
+
+        The population members must share one clip (the lockstep training
+        invariant); each segment is encoded through a shared scanline
+        union.  3-channel encoders have no cross-member sharing to
+        exploit and fall back to per-state :meth:`encode_all`.
+        """
+        if not states:
+            raise SquishError("population encoding needs at least one state")
+        if self.channels == 3:
+            return np.stack([self.encode_all(state) for state in states])
+        segments = states[0].segments
+        if any(len(state.segments) != len(segments) for state in states[1:]):
+            raise SquishError(
+                "population members must share one clip's segments"
+            )
+        return np.stack(
+            [
+                self.encode_segment_population(states, seg)
+                for seg in segments
+            ],
+            axis=1,
         )
 
 
@@ -97,9 +188,9 @@ def _clip_polygons(
 
 
 def _vertex_scanlines(
-    polygons: list[Polygon], window: Rect
+    polygons: list[Polygon],
 ) -> tuple[list[float], list[float]]:
-    """Scanline coordinates at every polygon edge inside the window."""
+    """Scanline coordinates at every polygon vertex."""
     xs: list[float] = []
     ys: list[float] = []
     for polygon in polygons:

@@ -245,11 +245,9 @@ class TestPopulationTraining:
                 np.zeros((2, 3)), ctx.adjacency, ctx.order
             )
 
-    @pytest.mark.parametrize("eval_mode", ["exact", "spectral"])
-    def test_population_training_runs(self, simulator, clip, eval_mode):
+    def test_population_training_runs(self, simulator, clip):
         config = CamoConfig.smoke(
             rl_population=3,
-            rl_eval_mode=eval_mode,
             imitation_epochs=1,
             rl_epochs=2,
             max_updates=2,
@@ -260,8 +258,8 @@ class TestPopulationTraining:
         assert all(np.isfinite(r) for r in history["rl_reward"])
 
     def test_population_one_uses_sequential_loop(self, simulator, clip):
-        """rl_population=1 with exact evaluation must take the original
-        per-step loop — the bit-for-bit reproducibility path."""
+        """rl_population=1 must take the original per-step loop — the
+        bit-for-bit reproducibility path."""
         config = CamoConfig.smoke(imitation_epochs=0, rl_epochs=1, max_updates=2)
         agent = CAMO(config, simulator)
         called = []
@@ -270,11 +268,44 @@ class TestPopulationTraining:
         agent._train_rl([clip], {"rl_reward": []}, False)
         assert called == ["seq"]
 
-    def test_spectral_mode_routes_to_population_loop(self, simulator, clip):
-        config = CamoConfig.smoke(rl_eval_mode="spectral")
+    def test_spectral_eval_mode_deprecated_and_ignored(self, simulator, clip):
+        """The retired screening knob warns and no longer affects routing:
+        P=1 stays on the sequential loop."""
+        with pytest.warns(DeprecationWarning, match="rl_eval_mode"):
+            config = CamoConfig.smoke(rl_eval_mode="spectral")
         agent = CAMO(config, simulator)
         called = []
         agent._train_rl_sequential = lambda *a, **k: called.append("seq")
         agent._train_rl_population = lambda *a, **k: called.append("pop")
         agent._train_rl([clip], {"rl_reward": []}, False)
-        assert called == ["pop"]
+        assert called == ["seq"]
+
+    def test_population_bias_jitter_offsets(self, simulator, clip):
+        """Deterministic start-state jitter: offsets cycle across the
+        population and every start matches the equivalent reset()."""
+        config = CamoConfig.smoke(
+            rl_population=3,
+            rl_population_bias_offsets=(0.0, 2.0),
+            imitation_epochs=0,
+            rl_epochs=1,
+            max_updates=1,
+        )
+        agent = CAMO(config, simulator)
+        ctx = agent.context(clip)
+        biases = [
+            config.initial_bias_nm + config.rl_population_bias_offsets[p % 2]
+            for p in range(3)
+        ]
+        starts = ctx.env.reset_population(biases)
+        for bias, start in zip(biases, starts):
+            reference = ctx.env.reset(bias_nm=bias)
+            assert np.array_equal(start.seg_epe, reference.seg_epe)
+            assert start.total_epe == reference.total_epe
+        # Distinct biases must produce distinct start states.
+        assert starts[0].total_epe != starts[1].total_epe
+        history = agent.train([clip])
+        assert all(np.isfinite(r) for r in history["rl_reward"])
+
+    def test_bias_jitter_validation(self):
+        with pytest.raises(ConfigError):
+            CamoConfig(rl_population_bias_offsets=("big",))

@@ -1,7 +1,8 @@
 """Error-path coverage for the lithography engine plus the bounded
-kernel-FFT cache: every ``LithoError`` raise in ``kernels.py`` /
-``simulator.py`` / ``spectral.py`` is exercised, and LRU eviction is
-shown to keep results correct."""
+per-grid caches: every ``LithoError`` raise in ``kernels.py`` /
+``simulator.py`` is exercised, LRU eviction is shown to keep results
+correct, and the FFT-derived cache is shown to key on backend identity
+(the cross-backend staleness regression)."""
 
 import numpy as np
 import pytest
@@ -12,14 +13,16 @@ from repro.litho import (
     LithoConfig,
     LithographySimulator,
     OpticalKernelSet,
-    SpectralConvolver,
+    scipy_fft_available,
 )
-from repro.litho.spectral import next_fast_len
+from repro.litho.fft import next_fast_len
 from repro.rl.env import OPCEnvironment
 
 
-def tiny_kernel_set(capacity: int = 6, cutoff: float | None = 0.0126):
+def tiny_kernel_set(capacity: int = 6, cutoff: float | None = 0.0126, **kw):
+    """Legacy spatial-provenance set (explicit weights + kernels)."""
     rng = np.random.default_rng(42)
+    kw.setdefault("fft_backend", "numpy")
     return OpticalKernelSet(
         weights=np.array([0.5, 0.3, 0.2]),
         kernels=rng.normal(size=(3, 5, 5)) + 1j * rng.normal(size=(3, 5, 5)),
@@ -27,7 +30,13 @@ def tiny_kernel_set(capacity: int = 6, cutoff: float | None = 0.0126):
         defocus_nm=0.0,
         cutoff_per_nm=cutoff,
         fft_cache_capacity=capacity,
+        **kw,
     )
+
+
+def cache_key(kernel_set, shape):
+    backend = kernel_set.fft
+    return (shape, backend.name, backend.workers)
 
 
 class TestKernelSetErrors:
@@ -99,6 +108,23 @@ class TestKernelSetErrors:
                 defocus_nm=0.0,
             )
 
+    def test_needs_source_or_kernels(self):
+        with pytest.raises(LithoError, match="source"):
+            OpticalKernelSet(pixel_nm=8.0, defocus_nm=0.0)
+
+    def test_native_set_has_no_spatial_ambit(self):
+        from repro.litho import build_kernel_set
+
+        native = build_kernel_set(pixel_nm=8.0, period_nm=1024.0, max_kernels=4)
+        with pytest.raises(LithoError, match="ambit"):
+            native.ambit_px
+        with pytest.raises(LithoError, match="per-grid"):
+            native.count
+
+    def test_legacy_set_has_no_band_spectra(self):
+        with pytest.raises(LithoError, match="band spectra"):
+            tiny_kernel_set().band_spectra((64, 64))
+
 
 class TestFFTCacheLRU:
     def test_capacity_is_enforced(self):
@@ -106,7 +132,10 @@ class TestFFTCacheLRU:
         for n in (16, 20, 24, 28):
             kernel_set.convolve_intensity(np.ones((n, n)))
         assert len(kernel_set._fft_cache) == 2
-        assert list(kernel_set._fft_cache) == [(24, 24), (28, 28)]
+        assert list(kernel_set._fft_cache) == [
+            cache_key(kernel_set, (24, 24)),
+            cache_key(kernel_set, (28, 28)),
+        ]
 
     def test_recently_used_shape_survives(self):
         kernel_set = tiny_kernel_set(capacity=2)
@@ -114,7 +143,10 @@ class TestFFTCacheLRU:
         kernel_set.convolve_intensity(np.ones((20, 20)))
         kernel_set.convolve_intensity(np.ones((16, 16)))  # refresh (16, 16)
         kernel_set.convolve_intensity(np.ones((24, 24)))  # evicts (20, 20)
-        assert list(kernel_set._fft_cache) == [(16, 16), (24, 24)]
+        assert list(kernel_set._fft_cache) == [
+            cache_key(kernel_set, (16, 16)),
+            cache_key(kernel_set, (24, 24)),
+        ]
 
     def test_eviction_keeps_results_correct(self):
         """Recomputing an evicted shape must reproduce the original
@@ -125,16 +157,60 @@ class TestFFTCacheLRU:
         mask_large = rng.random((24, 24))
         first = kernel_set.convolve_intensity(mask_small)
         kernel_set.convolve_intensity(mask_large)  # evicts the (16, 16) FFTs
-        assert (16, 16) not in kernel_set._fft_cache
+        assert cache_key(kernel_set, (16, 16)) not in kernel_set._fft_cache
         again = kernel_set.convolve_intensity(mask_small)
         assert np.array_equal(first, again)
 
     def test_batch_and_single_share_cache(self):
         kernel_set = tiny_kernel_set()
         kernel_set.convolve_intensity(np.ones((16, 16)))
-        assert list(kernel_set._fft_cache) == [(16, 16)]
+        assert list(kernel_set._fft_cache) == [cache_key(kernel_set, (16, 16))]
         kernel_set.convolve_intensity_batch(np.ones((4, 16, 16)))
-        assert list(kernel_set._fft_cache) == [(16, 16)]  # no new entry
+        # no new entry
+        assert list(kernel_set._fft_cache) == [cache_key(kernel_set, (16, 16))]
+
+
+class TestFFTCacheBackendKey:
+    """Regression: FFT-derived spectra are keyed by backend identity, so
+    swapping the transform backend on a shared kernel set can never serve
+    spectra computed by the previous backend."""
+
+    def test_worker_identity_in_key(self):
+        kernel_set = tiny_kernel_set(fft_backend="numpy", fft_workers=1)
+        kernel_set.kernel_spectra((16, 16))
+        kernel_set.fft_workers = 2
+        kernel_set.kernel_spectra((16, 16))
+        keys = list(kernel_set._fft_cache)
+        assert ((16, 16), "numpy", 1) in keys
+        assert ((16, 16), "numpy", 2) in keys
+
+    @pytest.mark.skipif(
+        not scipy_fft_available(), reason="scipy not installed"
+    )
+    def test_backend_swap_recomputes(self):
+        kernel_set = tiny_kernel_set(fft_backend="numpy", fft_workers=1)
+        numpy_stack = kernel_set.kernel_spectra((16, 16))
+        kernel_set.fft_backend = "scipy"
+        kernel_set.fft_workers = 2
+        scipy_stack = kernel_set.kernel_spectra((16, 16))
+        assert scipy_stack is not numpy_stack  # fresh computation
+        assert np.allclose(scipy_stack, numpy_stack, atol=1e-9)
+        # Both entries stay resident under their own keys.
+        assert ((16, 16), "numpy", 1) in kernel_set._fft_cache
+        assert ((16, 16), "scipy", 2) in kernel_set._fft_cache
+
+    def test_native_band_spectra_are_backend_independent(self):
+        from repro.litho import build_kernel_set
+
+        native = build_kernel_set(
+            pixel_nm=8.0, period_nm=1024.0, max_kernels=4, fft_backend="numpy"
+        )
+        stack = native.kernel_spectra((96, 96))
+        # Scattered band coefficients involve no transform at all, so the
+        # cache key carries the "band" provenance, not a backend.
+        assert ((96, 96), "band") in native._fft_cache
+        again = native.kernel_spectra((96, 96))
+        assert again is stack
 
 
 class TestSimulatorErrors:
@@ -151,6 +227,12 @@ class TestSimulatorErrors:
         with pytest.raises(LithoError, match="mode"):
             sim.simulate_batch(np.ones((1, 96, 96)), grid, mode="turbo")
 
+    def test_deprecated_mode_warns(self, sim):
+        grid = Grid(0, 0, 8.0, 96, 96)
+        for mode in ("exact", "spectral"):
+            with pytest.warns(DeprecationWarning, match="deprecated"):
+                sim.simulate_batch(np.ones((1, 96, 96)), grid, mode=mode)
+
     def test_empty_batch(self, sim):
         grid = Grid(0, 0, 8.0, 96, 96)
         with pytest.raises(LithoError, match="empty"):
@@ -166,25 +248,12 @@ class TestSimulatorErrors:
         with pytest.raises(LithoError, match="grid"):
             sim.simulate_batch(np.ones((1, 80, 80)), grid)
 
-    def test_mask_below_ambit(self, sim):
+    def test_window_too_small_for_band(self, sim):
+        """A 128 nm window holds no usable pupil band: the frequency-
+        native build must reject it with a clear message."""
         grid = Grid(0, 0, 8.0, 16, 16)
-        with pytest.raises(LithoError, match="ambit"):
+        with pytest.raises(LithoError, match="too coarse"):
             sim.simulate_batch(np.ones((1, 16, 16)), grid)
-
-
-class TestSpectralErrors:
-    def test_requires_cutoff(self):
-        with pytest.raises(LithoError, match="cutoff"):
-            SpectralConvolver(tiny_kernel_set(cutoff=None))
-
-    def test_bad_band_scale(self):
-        with pytest.raises(LithoError, match="band_scale"):
-            SpectralConvolver(tiny_kernel_set(), band_scale=0.0)
-
-    def test_spectra_helper_rejects_2d(self):
-        convolver = SpectralConvolver(tiny_kernel_set())
-        with pytest.raises(LithoError, match="3-D"):
-            convolver.intensity_from_mask_ffts(np.ones((64, 64), complex))
 
     def test_bad_fft_length(self):
         with pytest.raises(LithoError):
@@ -210,6 +279,16 @@ class TestEnvBatchErrors:
     def test_empty_evaluate_batch(self, env):
         with pytest.raises(RLError, match="at least one"):
             env.evaluate_batch([])
+
+    def test_empty_reset_population(self, env):
+        with pytest.raises(RLError, match="at least one"):
+            env.reset_population([])
+
+    def test_deprecated_env_mode_warns(self, env):
+        state = env.reset()
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            env.step_batch([state], np.zeros((1, env.n_segments), dtype=int),
+                           mode="spectral")
 
     def test_score_moves_rejects_1d(self, env):
         state = env.reset()

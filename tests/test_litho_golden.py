@@ -3,8 +3,10 @@
 Committed ``.npz`` references (see ``tests/golden/generate.py``) pin the
 aerial and printed images of two canonical benchmark clips.  Any litho
 refactor — batching, caching, FFT backend changes — that shifts an
-intensity by more than 1e-9 fails here, and both the single-mask and the
-batched engine are held to the same references.
+intensity by more than 1e-9 fails here, and both the single-mask spatial
+reference and the unified band-limited batched engine are held to the
+same references, under the numpy backend and (where installed) the
+threaded scipy backend.
 """
 
 import os
@@ -12,6 +14,7 @@ import os
 import numpy as np
 import pytest
 
+from repro.litho import scipy_fft_available
 from repro.litho.simulator import LithoConfig, LithographySimulator
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
@@ -22,7 +25,17 @@ MAX_ABS_ERROR = 1e-9
 @pytest.fixture(scope="module")
 def simulator():
     # Must match tests/golden/generate.py: GOLDEN_CONFIG.
-    return LithographySimulator(LithoConfig(pixel_nm=8.0, max_kernels=8))
+    return LithographySimulator(
+        LithoConfig(pixel_nm=8.0, max_kernels=8, fft_backend="numpy")
+    )
+
+
+@pytest.fixture(scope="module")
+def scipy_simulator():
+    return LithographySimulator(
+        LithoConfig(pixel_nm=8.0, max_kernels=8, fft_backend="scipy",
+                    fft_workers=2)
+    )
 
 
 def load_golden(case: str):
@@ -41,37 +54,57 @@ def grid_for(simulator, mask: np.ndarray):
     return Grid(0.0, 0.0, simulator.config.pixel_nm, rows, cols)
 
 
+def assert_aerials_match(result, data):
+    assert np.abs(result.aerial - data["aerial"]).max() < MAX_ABS_ERROR
+    assert (
+        np.abs(result.aerial_defocus - data["aerial_defocus"]).max()
+        < MAX_ABS_ERROR
+    )
+
+
 @pytest.mark.parametrize("case", GOLDEN_CASES)
 class TestGoldenImages:
     def test_single_mask_path(self, simulator, case):
         data = load_golden(case)
         mask = data["mask"]
         result = simulator.simulate_mask(mask, grid_for(simulator, mask))
-        assert np.abs(result.aerial - data["aerial"]).max() < MAX_ABS_ERROR
-        assert (
-            np.abs(result.aerial_defocus - data["aerial_defocus"]).max()
-            < MAX_ABS_ERROR
-        )
+        assert_aerials_match(result, data)
         for corner in ("nominal", "inner", "outer"):
             assert np.array_equal(
                 result.printed[corner], data[f"printed_{corner}"]
             )
 
     def test_batched_path(self, simulator, case):
-        """The batched engine answers to the same golden references."""
+        """The unified band engine answers to the same golden references."""
         data = load_golden(case)
         mask = data["mask"]
         result = simulator.simulate_batch(
             mask[None], grid_for(simulator, mask)
         )[0]
-        assert np.abs(result.aerial - data["aerial"]).max() < MAX_ABS_ERROR
-        assert (
-            np.abs(result.aerial_defocus - data["aerial_defocus"]).max()
-            < MAX_ABS_ERROR
-        )
+        assert_aerials_match(result, data)
         for corner in ("nominal", "inner", "outer"):
             assert np.array_equal(
                 result.printed[corner], data[f"printed_{corner}"]
+            )
+
+    @pytest.mark.skipif(
+        not scipy_fft_available(), reason="scipy not installed"
+    )
+    def test_scipy_backend_paths(self, scipy_simulator, case):
+        """Both engines stay inside the golden tolerance under the
+        threaded scipy backend (~1e-12 from numpy, not bit-for-bit —
+        printed corners are checked against the same-backend reference
+        rather than the numpy-thresholded goldens)."""
+        data = load_golden(case)
+        mask = data["mask"]
+        grid = grid_for(scipy_simulator, mask)
+        single = scipy_simulator.simulate_mask(mask, grid)
+        batched = scipy_simulator.simulate_batch(mask[None], grid)[0]
+        assert_aerials_match(single, data)
+        assert_aerials_match(batched, data)
+        for corner in ("nominal", "inner", "outer"):
+            assert np.array_equal(
+                single.printed[corner], batched.printed[corner]
             )
 
     def test_printed_images_nontrivial(self, simulator, case):

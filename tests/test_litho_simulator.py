@@ -128,4 +128,7 @@ class TestSimulator:
         with pytest.raises(LithoError):
             LithoConfig(pixel_nm=-1)
         with pytest.raises(LithoError):
-            LithoConfig(ambit_nm=4096.0, period_nm=2048.0)
+            LithoConfig(period_nm=0.0)
+        # ambit_nm is deprecated and ignored: a value that the old crop
+        # validation rejected must no longer block construction.
+        LithoConfig(ambit_nm=4096.0, period_nm=2048.0)

@@ -18,7 +18,7 @@ def tcc():
 
 @pytest.fixture(scope="module")
 def kernel_set():
-    return build_kernel_set(pixel_nm=8.0, period_nm=1024.0, ambit_nm=512.0)
+    return build_kernel_set(pixel_nm=8.0, period_nm=1024.0, fft_backend="numpy")
 
 
 class TestLattice:
@@ -116,8 +116,9 @@ class TestKernelSet:
         rolled = kernel_set.convolve_intensity(np.roll(mask, (7, 11), axis=(0, 1)))
         assert np.allclose(np.roll(base, (7, 11), axis=(0, 1)), rolled, atol=1e-9)
 
-    def test_mask_smaller_than_ambit_rejected(self, kernel_set):
-        with pytest.raises(LithoError):
+    def test_window_too_small_rejected(self, kernel_set):
+        """A 128 nm window holds no usable pupil band."""
+        with pytest.raises(LithoError, match="too coarse"):
             kernel_set.convolve_intensity(np.ones((16, 16)))
 
     def test_non_2d_rejected(self, kernel_set):
@@ -125,12 +126,44 @@ class TestKernelSet:
             kernel_set.convolve_intensity(np.ones((4, 192, 192)))
 
     def test_save_load_roundtrip(self, kernel_set, tmp_path):
+        """Native sets persist their optics and reload frequency-native:
+        the reloaded set must simulate identically."""
         path = str(tmp_path / "kernels.npz")
         kernel_set.save(path)
-        loaded = type(kernel_set).load(path)
-        assert np.allclose(loaded.weights, kernel_set.weights)
-        assert np.allclose(loaded.kernels, kernel_set.kernels)
+        # The transform backend is an execution choice and is never
+        # persisted; requesting the original backend restores bit-for-bit
+        # equality with the pre-save set.
+        loaded = type(kernel_set).load(path, fft_backend="numpy")
+        assert loaded.is_native
         assert loaded.pixel_nm == kernel_set.pixel_nm
+        weights, kernels = kernel_set.spatial_kernels()
+        loaded_weights, loaded_kernels = loaded.spatial_kernels()
+        assert np.allclose(loaded_weights, weights)
+        assert np.allclose(loaded_kernels, kernels)
+        mask = np.zeros((128, 128))
+        mask[50:70, 50:70] = 1.0
+        assert np.array_equal(
+            loaded.convolve_intensity(mask),
+            kernel_set.convolve_intensity(mask),
+        )
+
+    def test_legacy_file_without_optics_loads_spatial(self, kernel_set, tmp_path):
+        """Old .npz files (spatial arrays only) still load and simulate
+        through the full-grid path."""
+        weights, kernels = kernel_set.spatial_kernels()
+        path = str(tmp_path / "legacy.npz")
+        np.savez_compressed(
+            path, weights=weights, kernels=kernels,
+            pixel_nm=kernel_set.pixel_nm, defocus_nm=kernel_set.defocus_nm,
+        )
+        loaded = type(kernel_set).load(path)
+        assert not loaded.is_native
+        assert loaded.count == len(weights)
+        mask = np.zeros((128, 128))
+        mask[50:70, 50:70] = 1.0
+        intensity = loaded.convolve_intensity(mask)
+        assert intensity.shape == (128, 128)
+        assert intensity.max() > 0
 
     def test_cache_reuse(self):
         a = build_kernel_set(pixel_nm=8.0, period_nm=1024.0)

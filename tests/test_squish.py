@@ -217,6 +217,88 @@ class TestNodeFeatures:
             NodeFeatureEncoder(channels=4)
 
 
+class TestPopulationEncoding:
+    """Shared-scanline-union population encoding parity (the batched
+    per-trajectory feature path used by population RL training)."""
+
+    def encoder(self, channels=6):
+        return NodeFeatureEncoder(window_nm=500, out_size=32, channels=channels)
+
+    def population(self, deltas=(0.0, 2.0, -2.0)):
+        base = via_state()
+        return [base.moved(np.full(8, d)) for d in deltas]
+
+    def test_single_member_is_bitwise_per_window(self):
+        """P=1: the union degenerates to the per-window grid, so the
+        population path must be bit-for-bit the per-window encoding."""
+        encoder = self.encoder()
+        state = via_state()
+        assert np.array_equal(
+            encoder.encode_all_population([state]),
+            encoder.encode_all(state)[None],
+        )
+
+    def test_identical_members_match_per_window(self):
+        """Members with identical masks add no scanlines to each other's
+        union — every row equals the per-window encoding (the shared
+        start state of population training)."""
+        encoder = self.encoder()
+        state = via_state()
+        feats = encoder.encode_all_population([state, state, state])
+        reference = encoder.encode_all(state)
+        for row in feats:
+            assert np.array_equal(row, reference)
+
+    def test_population_matches_per_window_on_union_grid(self):
+        """Parity against per-window encoding: each member's tensors
+        equal the per-window encode run on the same scanline union."""
+        from repro.squish.features import _clip_polygons, _vertex_scanlines
+
+        encoder = self.encoder()
+        states = self.population()
+        feats = encoder.encode_all_population(states)
+        assert feats.shape == (3, 8, 6, 32, 32)
+        for j, segment in enumerate(states[0].segments):
+            window = encoder._window(segment)
+            target_polys = _clip_polygons(states[0].clip.targets, window)
+            union_x, union_y = _vertex_scanlines(target_polys)
+            for state in states:
+                xs, ys = _vertex_scanlines(
+                    _clip_polygons(state.mask_polygons(), window)
+                )
+                union_x, union_y = union_x + xs, union_y + ys
+            for p, state in enumerate(states):
+                mask_polys = _clip_polygons(state.mask_polygons(), window)
+                expected_mask = encoder._mask_tensor(
+                    mask_polys, window, union_x, union_y
+                )
+                assert np.array_equal(feats[p, j, :3], expected_mask)
+
+    def test_target_channels_shared_across_members(self):
+        """The payoff: on the union grid the target encoding is identical
+        for every member (computed once, broadcast)."""
+        encoder = self.encoder()
+        feats = encoder.encode_all_population(self.population())
+        for p in range(1, feats.shape[0]):
+            assert np.array_equal(feats[0, :, 3:], feats[p, :, 3:])
+
+    def test_distinct_members_encode_distinct_masks(self):
+        encoder = self.encoder()
+        feats = encoder.encode_all_population(self.population())
+        assert not np.array_equal(feats[0, :, :3], feats[1, :, :3])
+
+    def test_three_channel_population_falls_back(self):
+        encoder = self.encoder(channels=3)
+        states = self.population()
+        feats = encoder.encode_all_population(states)
+        for state, row in zip(states, feats):
+            assert np.array_equal(row, encoder.encode_all(state))
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(SquishError):
+            self.encoder().encode_all_population([])
+
+
 @given(
     x0=st.integers(min_value=1, max_value=40),
     y0=st.integers(min_value=1, max_value=40),
