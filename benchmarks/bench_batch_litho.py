@@ -21,7 +21,10 @@ against each other before any number is reported:
 
 The script exits non-zero if exactness fails, if per-mask results depend
 on the batch size, or if the batched speedup falls below the acceptance
-threshold.
+threshold.  A machine-readable record of every run (config, timings,
+speedup, pass/fail) is written to ``BENCH_batch_litho.json`` (override
+with ``--json``) so the perf trajectory is tracked across PRs instead of
+living only in the gate's pass/fail output.
 """
 
 from __future__ import annotations
@@ -32,6 +35,8 @@ import time
 
 import numpy as np
 
+from bench_common import write_json
+
 from repro.geometry.raster import Grid, rasterize
 from repro.geometry.polygon import Polygon
 from repro.geometry.rect import Rect
@@ -40,6 +45,7 @@ from repro.litho.simulator import LithoConfig, LithographySimulator
 BATCH = 8
 SPEEDUP_THRESHOLD = 3.0
 EXACTNESS_TOLERANCE = 1e-9
+DEFAULT_JSON_PATH = "BENCH_batch_litho.json"
 
 
 def build_masks(grid: Grid, count: int) -> list[np.ndarray]:
@@ -68,7 +74,11 @@ def best_of(fn, repeats: int) -> float:
     return best
 
 
-def run(smoke: bool, min_speedup: float = SPEEDUP_THRESHOLD) -> int:
+def run(
+    smoke: bool,
+    min_speedup: float = SPEEDUP_THRESHOLD,
+    json_path: str = DEFAULT_JSON_PATH,
+) -> int:
     if smoke:
         config = LithoConfig(pixel_nm=4.0, max_kernels=6)
         window_nm, repeats = 1024.0, 3
@@ -127,7 +137,26 @@ def run(smoke: bool, min_speedup: float = SPEEDUP_THRESHOLD) -> int:
           f"(max |dI| = {exact_error:.1e}, exact — legal for metrology)")
 
     speedup = t_seq / t_batch
-    if speedup < min_speedup:
+    passed = speedup >= min_speedup
+    write_json(json_path, {
+        "bench": "batch_litho",
+        "smoke": smoke,
+        "grid": [n, n],
+        "pixel_nm": config.pixel_nm,
+        "kernels_per_corner": band.count,
+        "pupil_band": list(band.band),
+        "subgrid": list(band.subgrid),
+        "batch": BATCH,
+        "fft_backend": simulator.kernel_set(0.0).fft.name,
+        "t_sequential_s": t_seq,
+        "t_batch_s": t_batch,
+        "speedup": speedup,
+        "min_speedup": min_speedup,
+        "max_abs_intensity_error": exact_error,
+        "exactness_tolerance": EXACTNESS_TOLERANCE,
+        "passed": passed,
+    })
+    if not passed:
         print(f"FAIL: batched engine speedup {speedup:.2f}x < "
               f"{min_speedup}x threshold")
         return 1
@@ -143,8 +172,12 @@ def main() -> int:
     parser.add_argument("--min-speedup", type=float, default=SPEEDUP_THRESHOLD,
                         help="fail below this batched speedup (use a looser "
                              "value on noisy shared CI runners)")
+    parser.add_argument("--json", default=DEFAULT_JSON_PATH, metavar="PATH",
+                        help="machine-readable result file ('' disables; "
+                             f"default {DEFAULT_JSON_PATH})")
     args = parser.parse_args()
-    return run(smoke=args.smoke, min_speedup=args.min_speedup)
+    return run(smoke=args.smoke, min_speedup=args.min_speedup,
+               json_path=args.json)
 
 
 if __name__ == "__main__":

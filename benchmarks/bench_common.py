@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark gate scripts."""
+
+from __future__ import annotations
+
+import json
+
+
+def write_json(path: str, record: dict) -> None:
+    """Persist one machine-readable bench record (best-effort: a
+    read-only workspace must not turn a passing gate into a failure)."""
+    if not path:
+        return
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {path}")
+    except OSError as exc:  # pragma: no cover - environment-dependent
+        print(f"warning: could not write {path}: {exc}")

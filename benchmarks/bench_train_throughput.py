@@ -47,7 +47,10 @@ the invariants that let the population knob ship default-off without
 perturbing existing results.
 
 The script exits non-zero if any parity gate fails or a speedup falls
-below its threshold.
+below its threshold.  A machine-readable record of every run is written
+to ``BENCH_train_throughput.json`` (override with ``--json``) so the
+perf trajectory is tracked across PRs instead of living only in the
+gate's pass/fail output.
 """
 
 from __future__ import annotations
@@ -57,6 +60,8 @@ import sys
 import time
 
 import numpy as np
+
+from bench_common import write_json
 
 from repro.core.agent import CAMO
 from repro.core.config import CamoConfig
@@ -76,6 +81,7 @@ POPULATION = 8
 SPEEDUP_THRESHOLD = 1.1
 SMOKE_SPEEDUP_THRESHOLD = 1.1  # shared-runner wall clocks are noisy
 METROLOGY_THRESHOLD = 1.3
+DEFAULT_JSON_PATH = "BENCH_train_throughput.json"
 
 
 def _smooth_aerial(seed: int, n: int) -> np.ndarray:
@@ -164,7 +170,9 @@ def time_training(
     return best
 
 
-def run_metrology_bench(repeats: int, min_speedup: float) -> tuple[bool, str]:
+def run_metrology_bench(
+    repeats: int, min_speedup: float
+) -> tuple[bool, str, dict]:
     grid = Grid(0.0, 0.0, 2.0, 192, 192)
     aerial = _smooth_aerial(17, 192)
     rng = np.random.default_rng(23)
@@ -181,7 +189,11 @@ def run_metrology_bench(repeats: int, min_speedup: float) -> tuple[bool, str]:
     )
     reference = contour_offset_reference(aerial, grid, points, normals, threshold)
     if not np.array_equal(vectorized, reference):
-        return False, "FAIL: vectorized contour diverges from scalar reference"
+        return (
+            False,
+            "FAIL: vectorized contour diverges from scalar reference",
+            {},
+        )
 
     def best_of(fn):
         best = float("inf")
@@ -198,16 +210,25 @@ def run_metrology_bench(repeats: int, min_speedup: float) -> tuple[bool, str]:
         lambda: contour_offset_reference(aerial, grid, points, normals, threshold)
     )
     speedup = t_ref / t_vec
+    record = {
+        "n_points": n_points,
+        "t_reference_s": t_ref,
+        "t_vectorized_s": t_vec,
+        "speedup": speedup,
+        "min_speedup": min_speedup,
+    }
     line = (
         f"  metrology ({n_points} pts)  : loop {t_ref * 1e3:6.1f} ms  "
         f"vectorized {t_vec * 1e3:6.1f} ms -> {speedup:4.1f}x  (bit-for-bit)"
     )
     if speedup < min_speedup:
-        return False, line + f"\nFAIL: metrology speedup < {min_speedup}x"
-    return True, line
+        return False, line + f"\nFAIL: metrology speedup < {min_speedup}x", record
+    return True, line, record
 
 
-def run(smoke: bool, min_speedup: float) -> int:
+def run(
+    smoke: bool, min_speedup: float, json_path: str = DEFAULT_JSON_PATH
+) -> int:
     if smoke:
         litho = LithoConfig(pixel_nm=4.0, max_kernels=6)
         clip_nm, n_vias, updates, repeats = 1024.0, 2, 4, 2
@@ -247,7 +268,7 @@ def run(smoke: bool, min_speedup: float) -> int:
     if not check_sequential_reproducibility(seq_cfg, simulator, clip):
         return 1
 
-    ok, metrology_line = run_metrology_bench(
+    ok, metrology_line, metrology_record = run_metrology_bench(
         repeats=max(repeats, 3), min_speedup=METROLOGY_THRESHOLD
     )
     print(metrology_line)
@@ -263,7 +284,24 @@ def run(smoke: bool, min_speedup: float) -> int:
         f"  population (P={POPULATION})        : {pop:7.2f} traj-steps/s "
         f"-> {speedup:4.2f}x  (exact litho, batched encode)"
     )
-    if speedup < min_speedup:
+    passed = speedup >= min_speedup
+    write_json(json_path, {
+        "bench": "train_throughput",
+        "smoke": smoke,
+        "grid": [grid.rows, grid.cols],
+        "pixel_nm": litho.pixel_nm,
+        "kernels_per_corner": band.count,
+        "population": POPULATION,
+        "updates_per_trajectory": updates,
+        "fft_backend": simulator.kernel_set(0.0).fft.name,
+        "sequential_traj_steps_per_s": seq,
+        "population_traj_steps_per_s": pop,
+        "speedup": speedup,
+        "min_speedup": min_speedup,
+        "metrology": metrology_record,
+        "passed": passed,
+    })
+    if not passed:
         print(
             f"FAIL: population training speedup {speedup:.2f}x < "
             f"{min_speedup}x threshold at P={POPULATION}"
@@ -285,11 +323,14 @@ def main() -> int:
                              f"{SPEEDUP_THRESHOLD} full, "
                              f"{SMOKE_SPEEDUP_THRESHOLD} smoke — small-grid "
                              "wall clocks are noisy)")
+    parser.add_argument("--json", default=DEFAULT_JSON_PATH, metavar="PATH",
+                        help="machine-readable result file ('' disables; "
+                             f"default {DEFAULT_JSON_PATH})")
     args = parser.parse_args()
     min_speedup = args.min_speedup
     if min_speedup is None:
         min_speedup = SMOKE_SPEEDUP_THRESHOLD if args.smoke else SPEEDUP_THRESHOLD
-    return run(smoke=args.smoke, min_speedup=min_speedup)
+    return run(smoke=args.smoke, min_speedup=min_speedup, json_path=args.json)
 
 
 if __name__ == "__main__":

@@ -4,7 +4,10 @@
 Runs the modulator-driven CAMO engine (no training needed — the policy
 starts uniform and the OPC-inspired modulator alone already converges) and
 the Calibre-like model-based baseline on one generated 2-via clip, then
-prints both results and a squish-pattern demo (paper Fig. 3).
+prints both results and a squish-pattern demo (paper Fig. 3).  Both
+engines go through the :class:`repro.service.MaskOptService` front door,
+so their final masks are re-verified in one shape-binned batched litho
+call; the equivalent CLI is ``python -m repro optimize --suite tiny``.
 
 Usage::
 

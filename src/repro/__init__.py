@@ -9,11 +9,21 @@ neural-network framework, policy-gradient RL, baseline OPC engines, and the
 via / metal benchmark suites with the experiment harness that regenerates
 every table and figure of the paper.
 
+The public entry point is the :mod:`repro.service` front door — typed
+``OptRequest`` / ``OptResult`` records, an engine registry, and a
+``MaskOptService`` whose verification pass batches litho work across
+clips and engines — also exposed on the command line as
+``python -m repro`` (``optimize``, ``table``, ``bench-info``).
+
 Quickstart::
 
     from repro import quick_opc
     result = quick_opc()            # optimize a tiny via clip with CAMO
     print(result.summary())
+
+or, equivalently, from a shell::
+
+    python -m repro optimize --suite tiny
 """
 
 from repro.version import __version__

@@ -1,0 +1,272 @@
+"""``python -m repro`` — the command-line front door.
+
+Three subcommands, all built on :class:`repro.service.MaskOptService`:
+
+* ``optimize``  — run one engine over a clip suite (generated tiny /
+  via / metal benches), print the rows, optionally dump JSON.
+* ``table``     — regenerate the paper's Table 1 / Table 2 through the
+  service-routed experiment drivers.
+* ``bench-info``— show the serving environment: version, FFT backend,
+  engine registry, kernel-spectra store state.
+
+Examples::
+
+    python -m repro optimize --suite tiny --engine mbopc
+    python -m repro optimize --suite via --count 2 --engine camo \
+        --opt policy_temperature=1e6 --json results.json
+    python -m repro table --which 1 --scale smoke
+    python -m repro bench-info
+
+The kernel-spectra store directory comes from ``--store`` or the
+``REPRO_SPECTRA_STORE`` environment variable; with either set, fresh
+processes skip the per-shape TCC warmup (:mod:`repro.litho.store`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any
+
+from repro.errors import ReproError
+from repro.version import __version__
+
+
+def _parse_override(text: str) -> tuple[str, Any]:
+    """``key=value`` with JSON-ish value coercion (int/float/bool/str)."""
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"override {text!r} must look like key=value"
+        )
+    key, raw = text.split("=", 1)
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw
+    return key.strip(), value
+
+
+def _build_clips(args) -> list:
+    from repro.data.metal_bench import metal_test_suite
+    from repro.data.via_bench import generate_via_clip, via_test_suite
+
+    if args.suite == "tiny":
+        return [
+            generate_via_clip(
+                f"tiny{i + 1}", n_vias=2, seed=7 + i, clip_nm=1024.0
+            )
+            for i in range(args.count or 1)
+        ]
+    clips = via_test_suite() if args.suite == "via" else metal_test_suite()
+    if args.names:
+        wanted = {name.strip() for name in args.names.split(",")}
+        clips = [clip for clip in clips if clip.name in wanted]
+        missing = wanted - {clip.name for clip in clips}
+        if missing:
+            raise ReproError(
+                f"unknown clip name(s): {', '.join(sorted(missing))}"
+            )
+    if args.count:
+        clips = clips[: args.count]
+    return clips
+
+
+def _store_root(args) -> str | None:
+    from repro.litho.store import KernelSpectraStore
+
+    if getattr(args, "store", None):
+        return args.store
+    store = KernelSpectraStore.from_env()
+    return store.root if store is not None else None
+
+
+def cmd_optimize(args) -> int:
+    from repro.litho.simulator import LithoConfig
+    from repro.service import MaskOptService, OptRequest
+
+    config = LithoConfig(
+        pixel_nm=args.pixel_nm,
+        max_kernels=args.max_kernels,
+        fft_backend=args.fft_backend,
+        spectra_store=_store_root(args),
+    )
+    service = MaskOptService(litho_config=config)
+    clips = _build_clips(args)
+    if not clips:
+        raise ReproError("no clips selected")
+    overrides = dict(args.opt or [])
+    for clip in clips:
+        service.submit(OptRequest(
+            clip=clip,
+            engine=args.engine,
+            engine_overrides=overrides,
+            verify=not args.no_verify,
+        ))
+    results = service.run_all(verify=not args.no_verify)
+
+    header = (
+        f"{'clip':12s} {'EPE (nm)':>10s} {'PVB (nm^2)':>12s} "
+        f"{'RT (s)':>8s} {'steps':>5s}  verified"
+    )
+    print(f"repro optimize: engine={args.engine} suite={args.suite} "
+          f"clips={len(clips)} pixel={args.pixel_nm} nm")
+    print(header)
+    for result in results:
+        verified = "-" if result.verified_epe_nm is None else "ok"
+        print(
+            f"{result.clip_name:12s} {result.epe_nm:10.3f} "
+            f"{result.pvband_nm2:12.1f} {result.runtime_s:8.2f} "
+            f"{result.steps:5d}  {verified}"
+        )
+    total_epe = sum(result.epe_nm for result in results)
+    total_rt = sum(result.runtime_s for result in results)
+    print(f"{'total':12s} {total_epe:10.3f} {'':12s} {total_rt:8.2f}")
+    stats = service.stats()
+    print(f"verification: {stats['verify_items']} masks in "
+          f"{stats['verify_batch_calls']} batched litho calls")
+    if "spectra_store" in stats:
+        store = stats["spectra_store"]
+        print(f"spectra store: {store['root']} "
+              f"(hits {store['hits']}, writes {store['writes']})")
+
+    if args.json:
+        payload = {
+            "command": "optimize",
+            "engine": args.engine,
+            "suite": args.suite,
+            "engine_overrides": overrides,
+            "results": [result.to_dict() for result in results],
+            "totals": {"epe_nm": total_epe, "runtime_s": total_rt},
+            "service_stats": stats,
+            "version": __version__,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_table(args) -> int:
+    from repro.eval import experiments
+
+    if args.which == 1:
+        text, _ = experiments.table1(args.scale)
+    else:
+        text, _ = experiments.table2(args.scale)
+    print(text)
+    return 0
+
+
+def cmd_bench_info(args) -> int:
+    from repro.litho.fft import resolve_fft_backend, scipy_fft_available
+    from repro.litho.simulator import LithoConfig, LithographySimulator
+    from repro.litho.store import SPECTRA_STORE_ENV, open_store
+    from repro.service import available_engines
+
+    backend = resolve_fft_backend(args.fft_backend)
+    print(f"repro {__version__}")
+    print(f"python        : {sys.version.split()[0]}")
+    print(f"cpu cores     : {os.cpu_count()}")
+    print(f"scipy fft     : {'available' if scipy_fft_available() else 'absent'}")
+    print(f"fft backend   : {args.fft_backend!r} -> {backend.name} "
+          f"(workers={backend.workers})")
+    print(f"engines       : {', '.join(available_engines())}")
+
+    root = _store_root(args)
+    if root:
+        store = open_store(root)
+        print(f"spectra store : {store.root} ({store.entry_count()} entries)")
+    else:
+        print(f"spectra store : disabled (set --store or "
+              f"${SPECTRA_STORE_ENV})")
+
+    config = LithoConfig(
+        pixel_nm=args.pixel_nm, max_kernels=args.max_kernels,
+        fft_backend=args.fft_backend, spectra_store=root,
+    )
+    simulator = LithographySimulator(config)
+    n = int(args.window_nm / config.pixel_nm)
+    band = simulator.kernel_set(0.0).band_spectra((n, n))
+    print(f"sample grid   : {n}x{n} @ {config.pixel_nm} nm -> "
+          f"K={band.count} kernels, pupil band {band.band}, "
+          f"subgrid {band.subgrid} (compact={band.compact})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_litho_knobs(p, max_kernels_default: int) -> None:
+        p.add_argument("--pixel-nm", type=float, default=4.0,
+                       help="raster pitch (default 4 nm)")
+        p.add_argument("--max-kernels", type=int, default=max_kernels_default,
+                       help="SOCS kernel cap per corner")
+        p.add_argument("--fft-backend", default="auto",
+                       choices=["auto", "numpy", "scipy"],
+                       help="transform library (default auto)")
+        p.add_argument("--store", default=None, metavar="DIR",
+                       help="kernel-spectra store directory "
+                            "(default: $REPRO_SPECTRA_STORE)")
+
+    opt = sub.add_parser(
+        "optimize", help="optimize a clip suite through the service"
+    )
+    opt.add_argument("--engine", default="mbopc",
+                     help="registry engine name (default mbopc; see "
+                          "bench-info for the list)")
+    opt.add_argument("--suite", default="tiny",
+                     choices=["tiny", "via", "metal"],
+                     help="clip source (default: one tiny generated via clip)")
+    opt.add_argument("--count", type=int, default=0,
+                     help="limit the number of clips (0 = suite default)")
+    opt.add_argument("--names", default=None,
+                     help="comma-separated clip names to keep (via/metal)")
+    opt.add_argument("--opt", action="append", type=_parse_override,
+                     metavar="KEY=VALUE",
+                     help="engine config override (repeatable)")
+    opt.add_argument("--no-verify", action="store_true",
+                     help="skip the batched re-simulation cross-check")
+    opt.add_argument("--json", default=None, metavar="PATH",
+                     help="write machine-readable results to PATH")
+    add_litho_knobs(opt, max_kernels_default=6)
+    opt.set_defaults(func=cmd_optimize)
+
+    table = sub.add_parser(
+        "table", help="regenerate paper Table 1 / Table 2 via the service"
+    )
+    table.add_argument("--which", type=int, default=1, choices=[1, 2])
+    table.add_argument("--scale", default=None,
+                       choices=["smoke", "repro", "paper"],
+                       help="effort profile (default: REPRO_SCALE or 'repro')")
+    table.set_defaults(func=cmd_table)
+
+    info = sub.add_parser(
+        "bench-info", help="print the serving environment and optics summary"
+    )
+    info.add_argument("--window-nm", type=float, default=1024.0,
+                      help="sample window for the band summary")
+    add_litho_knobs(info, max_kernels_default=6)
+    info.set_defaults(func=cmd_bench_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,3 +54,7 @@ class DataError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid configuration value."""
+
+
+class ServiceError(ReproError):
+    """Mask-optimization service failure (bad request, unknown engine...)."""

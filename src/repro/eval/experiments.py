@@ -38,9 +38,9 @@ from repro.core.modulator import Modulator
 from repro.data.metal_bench import METAL_TEST_POINTS, metal_test_suite, metal_train_suite
 from repro.data.via_bench import VIA_TEST_COUNTS, via_test_suite, via_train_suite
 from repro.errors import ConfigError
-from repro.eval.runner import run_engine_on_suite
 from repro.eval.tables import format_comparison_table
 from repro.litho.simulator import LithoConfig, LithographySimulator
+from repro.service import MaskOptService
 from repro.viz.ascii_art import ascii_image
 from repro.viz.pgm import save_pgm
 
@@ -250,18 +250,20 @@ def table1(scale: str | Scale | None = None) -> tuple[str, dict]:
     """Via-layer comparison (paper Table 1)."""
     bundle = trained_via_engines(scale)
     test_clips = bundle["test_clips"]
-    # Batched re-simulation cross-checks every reported EPE (runner docs).
-    verify = bundle["simulator"]
-    results = [
-        run_engine_on_suite(bundle["damo"], test_clips, "DAMO-like",
-                            verify_simulator=verify),
-        run_engine_on_suite(bundle["mbopc"], test_clips, "Calibre-like",
-                            verify_simulator=verify),
-        run_engine_on_suite(bundle["rlopc"], test_clips, "RL-OPC",
-                            verify_simulator=verify),
-        run_engine_on_suite(bundle["camo"], test_clips, "CAMO",
-                            verify_simulator=verify),
-    ]
+    # One service call sweeps all four engines (thread-pooled on
+    # multi-core hosts) and funnels every reported EPE through one
+    # cross-engine shape-binned re-simulation pass (service docs).
+    service = MaskOptService(simulator=bundle["simulator"])
+    suites = service.map_suite(
+        {
+            "DAMO-like": bundle["damo"],
+            "Calibre-like": bundle["mbopc"],
+            "RL-OPC": bundle["rlopc"],
+            "CAMO": bundle["camo"],
+        },
+        test_clips,
+    )
+    results = list(suites.values())
     counts = {
         clip.name: count for clip, count in zip(test_clips, VIA_TEST_COUNTS)
     }
@@ -278,15 +280,16 @@ def table2(scale: str | Scale | None = None) -> tuple[str, dict]:
     """Metal-layer comparison (paper Table 2)."""
     bundle = trained_metal_engines(scale)
     test_clips = bundle["test_clips"]
-    verify = bundle["simulator"]
-    results = [
-        run_engine_on_suite(bundle["mbopc"], test_clips, "Calibre-like",
-                            verify_simulator=verify),
-        run_engine_on_suite(bundle["rlopc"], test_clips, "RL-OPC",
-                            verify_simulator=verify),
-        run_engine_on_suite(bundle["camo"], test_clips, "CAMO",
-                            verify_simulator=verify),
-    ]
+    service = MaskOptService(simulator=bundle["simulator"])
+    suites = service.map_suite(
+        {
+            "Calibre-like": bundle["mbopc"],
+            "RL-OPC": bundle["rlopc"],
+            "CAMO": bundle["camo"],
+        },
+        test_clips,
+    )
+    results = list(suites.values())
     counts = {
         clip.name: points
         for clip, points in zip(metal_test_suite(), METAL_TEST_POINTS)

@@ -1,15 +1,19 @@
-"""One-call quickstart used by ``repro.quick_opc()``."""
+"""One-call quickstart used by ``repro.quick_opc()``.
+
+Routes through :class:`repro.service.MaskOptService` — the same front
+door as the CLI — so even the 30-second demo exercises the blessed path:
+engines built from the registry, both final masks re-verified through
+one shape-binned batched litho call.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines.mbopc import MBOPC, MBOPCConfig
 from repro.constants import VIA_INITIAL_BIAS_NM
-from repro.core.agent import CAMO, OptimizeResult
-from repro.core.config import CamoConfig
+from repro.core.agent import OptimizeResult
 from repro.data.via_bench import generate_via_clip
-from repro.litho.simulator import LithoConfig, LithographySimulator
+from repro.litho.simulator import LithoConfig
 
 
 @dataclass
@@ -33,12 +37,27 @@ class QuickResult:
 
 def quick_opc() -> QuickResult:
     """Optimize one small via clip with CAMO and the MB-OPC baseline."""
-    simulator = LithographySimulator(LithoConfig(pixel_nm=4.0, max_kernels=6))
-    clip = generate_via_clip("quickstart", n_vias=2, seed=7)
-    camo = CAMO(
-        CamoConfig(encode_size=16, imitation_epochs=0, rl_epochs=0,
-                   policy_temperature=1e6),
-        simulator,
+    from repro.service import MaskOptService, OptRequest
+
+    service = MaskOptService(
+        litho_config=LithoConfig(pixel_nm=4.0, max_kernels=6)
     )
-    baseline = MBOPC(MBOPCConfig(initial_bias_nm=VIA_INITIAL_BIAS_NM), simulator)
-    return QuickResult(camo=camo.optimize(clip), baseline=baseline.optimize(clip))
+    clip = generate_via_clip("quickstart", n_vias=2, seed=7)
+    camo_ticket = service.submit(OptRequest(
+        clip=clip,
+        engine="camo",
+        engine_overrides=dict(
+            encode_size=16, imitation_epochs=0, rl_epochs=0,
+            policy_temperature=1e6,
+        ),
+    ))
+    baseline_ticket = service.submit(OptRequest(
+        clip=clip,
+        engine="mbopc",
+        engine_overrides=dict(initial_bias_nm=VIA_INITIAL_BIAS_NM),
+    ))
+    results = {r.request_id: r for r in service.run_all()}
+    return QuickResult(
+        camo=results[camo_ticket].outcome,
+        baseline=results[baseline_ticket].outcome,
+    )

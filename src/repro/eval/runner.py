@@ -1,6 +1,12 @@
 """Run an OPC engine over a benchmark suite, collecting table rows.
 
-With a ``verify_simulator`` the runner additionally re-simulates every
+Since the service redesign this module is a thin adapter over
+:class:`repro.service.MaskOptService`: ``run_engine_on_suite`` submits
+one :class:`~repro.service.api.OptRequest` per clip and drains them with
+``run_all``, so the suite sweep and its verification ride the same
+blessed path as the CLI and the examples.
+
+With a ``verify_simulator`` the service additionally re-simulates every
 engine's final mask through the batched lithography engine
 (:meth:`~repro.litho.simulator.LithographySimulator.simulate_batch`,
 grouped by grid shape so a whole suite becomes a handful of batched
@@ -18,15 +24,21 @@ from typing import Protocol
 
 import numpy as np
 
-from repro.errors import MetrologyError
-from repro.eval.metrics import EngineRow, SuiteResult
+from repro.eval.metrics import SuiteResult
 from repro.geometry.layout import Clip
-from repro.geometry.raster import Grid, rasterize
-from repro.geometry.segmentation import fragment_clip
 from repro.litho.simulator import LithographySimulator
-from repro.metrology.epe import measure_epe_grouped
+from repro.service.scheduler import (
+    ShapeBinScheduler,
+    VerifyItem,
+    final_mask_image,
+)
 
-_VERIFY_TOLERANCE_NM = 1e-6
+__all__ = [
+    "OPCEngine",
+    "final_mask_image",
+    "batch_verify_epe",
+    "run_engine_on_suite",
+]
 
 
 class OPCEngine(Protocol):
@@ -35,21 +47,6 @@ class OPCEngine(Protocol):
     ``early_exited`` (CAMO, MBOPC, RLOPC, DamoLikeOPC, PixelILT)."""
 
     def optimize(self, clip: Clip, **kwargs): ...
-
-
-def final_mask_image(outcome, grid: Grid) -> np.ndarray | None:
-    """Rasterized final mask of an optimization outcome, if recoverable.
-
-    Edge-based engines carry a ``final_state`` (a mask state rebuilt into
-    polygons); pixel engines carry a ``mask_image`` directly.
-    """
-    state = getattr(outcome, "final_state", None)
-    if state is not None:
-        return rasterize(state.mask.mask_polygons(), grid)
-    image = getattr(outcome, "mask_image", None)
-    if image is not None:
-        return np.asarray(image, dtype=np.float64)
-    return None
 
 
 def batch_verify_epe(
@@ -67,30 +64,17 @@ def batch_verify_epe(
     points).  Returns ``{clip_name: epe_nm}`` for every outcome whose
     final mask could be recovered.
     """
-    groups: dict[tuple[int, int], list[tuple[Clip, np.ndarray]]] = {}
+    scheduler = ShapeBinScheduler()
     for clip, outcome in zip(clips, outcomes):
         grid = simulator.grid_for(clip)
         image = final_mask_image(outcome, grid)
         if image is None:
             continue
-        groups.setdefault(grid.shape, []).append((clip, image))
-
-    measured: dict[str, float] = {}
-    threshold = simulator.config.threshold
-    for members in groups.values():
-        grids = [simulator.grid_for(clip) for clip, _ in members]
-        stack = np.stack([image for _, image in members])
-        results = simulator.simulate_batch(stack, grids[0])
-        reports = measure_epe_grouped(
-            np.stack([litho.aerial for litho in results]),
-            grids,
-            [fragment_clip(clip) for clip, _ in members],
-            threshold,
-            search_nm=epe_search_nm,
-        )
-        for (clip, _), report in zip(members, reports):
-            measured[clip.name] = report.total_abs
-    return measured
+        scheduler.add(VerifyItem(
+            key=clip.name, clip=clip, grid=grid, mask=np.asarray(image),
+            epe_search_nm=epe_search_nm,
+        ))
+    return scheduler.flush(simulator)
 
 
 def run_engine_on_suite(
@@ -103,42 +87,26 @@ def run_engine_on_suite(
     """Optimize every clip and collect (EPE, PVB, RT) rows.
 
     ``verify_simulator`` enables the batched re-simulation cross-check
-    described in the module docstring.
+    described in the module docstring.  The sweep routes through
+    :class:`~repro.service.MaskOptService` — numbers are bit-for-bit
+    identical to calling ``engine.optimize`` per clip directly.
     """
-    result = SuiteResult(engine=engine_name)
-    outcomes = []
+    from repro.service import MaskOptService, OptRequest
+
+    service = MaskOptService(
+        simulator=verify_simulator
+        if verify_simulator is not None
+        else getattr(engine, "simulator", None),
+    )
+    verify = verify_simulator is not None
     for clip in clips:
-        outcome = engine.optimize(clip, **optimize_kwargs)
-        if verify_simulator is not None:
-            outcomes.append(outcome)
-        result.add(
-            EngineRow(
-                clip_name=clip.name,
-                epe_nm=outcome.epe_total,
-                pvband_nm2=outcome.pvband,
-                runtime_s=outcome.runtime_s,
-                steps=outcome.steps,
-                early_exited=outcome.early_exited,
-            )
-        )
-    if verify_simulator is not None:
-        # Re-measure with the engine's own contour-search range (engines
-        # without the knob use the shared 40 nm default), otherwise a
-        # correctly-reporting engine would be flagged as drifting.
-        search_nm = float(
-            getattr(getattr(engine, "config", None), "epe_search_nm", 40.0)
-        )
-        measured = batch_verify_epe(
-            verify_simulator, clips, outcomes, epe_search_nm=search_nm
-        )
-        for row in result.rows:
-            if row.clip_name not in measured:
-                continue
-            drift = abs(measured[row.clip_name] - row.epe_nm)
-            if drift > _VERIFY_TOLERANCE_NM:
-                raise MetrologyError(
-                    f"{engine_name} reported EPE {row.epe_nm:.6f} nm on "
-                    f"{row.clip_name} but batched re-simulation measured "
-                    f"{measured[row.clip_name]:.6f} nm (drift {drift:.2e})"
-                )
+        service.submit(OptRequest(
+            clip=clip,
+            engine=engine,
+            optimize_kwargs=dict(optimize_kwargs),
+            verify=verify,
+        ))
+    result = SuiteResult(engine=engine_name)
+    for opt_result in service.run_all(verify=verify):
+        result.add(opt_result.to_row())
     return result

@@ -29,6 +29,7 @@ from repro.litho.imaging import aerial_image
 from repro.litho.resist import printed_image
 from repro.litho.process import ProcessCorner, nominal_corner, standard_corners
 from repro.litho.simulator import LithographySimulator, LithoConfig, LithoResult
+from repro.litho.store import KernelSpectraStore, open_store, optics_fingerprint
 
 __all__ = [
     "FFTBackend",
@@ -53,4 +54,7 @@ __all__ = [
     "LithographySimulator",
     "LithoConfig",
     "LithoResult",
+    "KernelSpectraStore",
+    "open_store",
+    "optics_fingerprint",
 ]

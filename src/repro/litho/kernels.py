@@ -44,6 +44,8 @@ backend's transform.
 
 from __future__ import annotations
 
+import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from functools import lru_cache
@@ -139,6 +141,13 @@ class OpticalKernelSet:
             backend; cached FFT-derived artifacts are keyed by backend
             identity, so swapping the backend can never serve stale
             spectra.
+        spectra_store: Optional disk-persistent store
+            (:class:`repro.litho.store.KernelSpectraStore`) consulted on
+            band-spectra misses before building, and written after every
+            build — a warm store turns the ~20-50 ms per-shape TCC warmup
+            into one ``.npz`` read on fresh processes.  The build is
+            FFT-free, so stored entries are backend-independent and
+            bit-for-bit equal to an in-process build.
     """
 
     pixel_nm: float
@@ -155,6 +164,7 @@ class OpticalKernelSet:
     fft_cache_capacity: int = 6
     fft_backend: str = "auto"
     fft_workers: int | None = None
+    spectra_store: object | None = None
     _band_cache: "OrderedDict[tuple[int, int], GridBandSpectra]" = field(
         default_factory=OrderedDict, repr=False
     )
@@ -164,6 +174,13 @@ class OpticalKernelSet:
     _canonical: tuple[np.ndarray, np.ndarray] | None = field(
         default=None, repr=False
     )
+    _fingerprint: str | None = field(default=None, repr=False)
+    _cache_lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False
+    )
+    """Guards the two LRU caches: the service's thread-pooled
+    ``map_suite`` drives one shared kernel set from several threads, and
+    an unguarded ``move_to_end`` can race another thread's eviction."""
 
     def __post_init__(self) -> None:
         if self.kernels is not None:
@@ -226,15 +243,42 @@ class OpticalKernelSet:
                 "rebuild with build_kernel_set for the frequency-native path"
             )
         key = (int(shape[0]), int(shape[1]))
-        cached = self._band_cache.get(key)
-        if cached is not None:
-            self._band_cache.move_to_end(key)
-            return cached
-        built = self._build_band_spectra(key)
-        self._band_cache[key] = built
-        while len(self._band_cache) > self.fft_cache_capacity:
-            self._band_cache.popitem(last=False)
-        return built
+        with self._cache_lock:
+            cached = self._band_cache.get(key)
+            if cached is not None:
+                self._band_cache.move_to_end(key)
+                return cached
+            built = None
+            store = self.spectra_store
+            if store is not None:
+                built = store.load(self._optics_fingerprint(), key)
+            if built is None:
+                built = self._build_band_spectra(key)
+                if store is not None:
+                    try:
+                        store.save(self._optics_fingerprint(), built)
+                    except OSError as exc:
+                        # Persistence is a cache, not a dependency: an
+                        # unwritable store directory must never fail a
+                        # simulation whose spectra were just built.
+                        warnings.warn(
+                            f"kernel-spectra store write failed "
+                            f"({store.root}): {exc}",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+            self._band_cache[key] = built
+            while len(self._band_cache) > self.fft_cache_capacity:
+                self._band_cache.popitem(last=False)
+            return built
+
+    def _optics_fingerprint(self) -> str:
+        """Cached store key covering every input of the spectra build."""
+        if self._fingerprint is None:
+            from repro.litho.store import optics_fingerprint
+
+            self._fingerprint = optics_fingerprint(self)
+        return self._fingerprint
 
     def _build_band_spectra(self, shape: tuple[int, int]) -> GridBandSpectra:
         rows, cols = shape
@@ -313,6 +357,12 @@ class OpticalKernelSet:
         else:
             backend = self.fft
             cache_key = (key, backend.name, backend.workers)
+        with self._cache_lock:
+            return self._kernel_spectra_locked(key, cache_key)
+
+    def _kernel_spectra_locked(
+        self, key: tuple[int, int], cache_key: tuple
+    ) -> np.ndarray:
         cached = self._fft_cache.get(cache_key)
         if cached is not None:
             self._fft_cache.move_to_end(cache_key)
@@ -571,40 +621,40 @@ class OpticalKernelSet:
         required (the ``"auto"`` default may resolve to threaded scipy
         on multi-core hosts, ~1e-12 from numpy).
         """
-        data = np.load(path)
-        cutoff = (
-            float(data["cutoff_per_nm"]) if "cutoff_per_nm" in data else None
-        )
-        if "source_shape" in data:
-            # Full optics metadata present: reconstruct frequency-native.
-            source = SourceSpec(
-                shape=str(data["source_shape"]),
-                sigma=float(data["source_sigma"]),
-                sigma_in=float(data["source_sigma_in"]),
-                sigma_out=float(data["source_sigma_out"]),
+        with np.load(path) as data:
+            cutoff = (
+                float(data["cutoff_per_nm"]) if "cutoff_per_nm" in data else None
             )
+            if "source_shape" in data:
+                # Full optics metadata present: reconstruct frequency-native.
+                source = SourceSpec(
+                    shape=str(data["source_shape"]),
+                    sigma=float(data["source_sigma"]),
+                    sigma_in=float(data["source_sigma_in"]),
+                    sigma_out=float(data["source_sigma_out"]),
+                )
+                return cls(
+                    pixel_nm=float(data["pixel_nm"]),
+                    defocus_nm=float(data["defocus_nm"]),
+                    source=source,
+                    wavelength_nm=float(data["wavelength_nm"]),
+                    numerical_aperture=float(data["numerical_aperture"]),
+                    max_kernels=int(data["max_kernels"]),
+                    energy_fraction=float(data["energy_fraction"]),
+                    period_nm=float(data["period_nm"]),
+                    cutoff_per_nm=cutoff,
+                    fft_backend=fft_backend,
+                    fft_workers=fft_workers,
+                )
             return cls(
                 pixel_nm=float(data["pixel_nm"]),
                 defocus_nm=float(data["defocus_nm"]),
-                source=source,
-                wavelength_nm=float(data["wavelength_nm"]),
-                numerical_aperture=float(data["numerical_aperture"]),
-                max_kernels=int(data["max_kernels"]),
-                energy_fraction=float(data["energy_fraction"]),
-                period_nm=float(data["period_nm"]),
+                weights=np.asarray(data["weights"]),
+                kernels=np.asarray(data["kernels"]),
                 cutoff_per_nm=cutoff,
                 fft_backend=fft_backend,
                 fft_workers=fft_workers,
             )
-        return cls(
-            pixel_nm=float(data["pixel_nm"]),
-            defocus_nm=float(data["defocus_nm"]),
-            weights=data["weights"],
-            kernels=data["kernels"],
-            cutoff_per_nm=cutoff,
-            fft_backend=fft_backend,
-            fft_workers=fft_workers,
-        )
 
 
 @lru_cache(maxsize=8)
@@ -619,6 +669,7 @@ def build_kernel_set(
     numerical_aperture: float = NUMERICAL_APERTURE,
     fft_backend: str = "auto",
     fft_workers: int | None = None,
+    spectra_store: object | None = None,
 ) -> OpticalKernelSet:
     """Build (and cache) a frequency-native :class:`OpticalKernelSet`.
 
@@ -626,7 +677,9 @@ def build_kernel_set(
     for each simulated shape.  ``period_nm`` only sizes the canonical
     square-lattice spatial materialization used for persistence and
     visualization — there is no ambit crop anywhere, which is what makes
-    the compact band engine exact.
+    the compact band engine exact.  ``spectra_store`` (a
+    :class:`repro.litho.store.KernelSpectraStore`, which hashes by its
+    root directory) persists finished band spectra across processes.
     """
     return OpticalKernelSet(
         pixel_nm=pixel_nm,
@@ -640,4 +693,5 @@ def build_kernel_set(
         cutoff_per_nm=numerical_aperture / wavelength_nm,
         fft_backend=fft_backend,
         fft_workers=fft_workers,
+        spectra_store=spectra_store,
     )

@@ -70,6 +70,7 @@ follow this two-call pattern.
 
 from __future__ import annotations
 
+import threading
 import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
@@ -94,7 +95,7 @@ from repro.litho.resist import printed_image
 from repro.litho.source import SourceSpec
 
 
-def _warn_deprecated_mode(mode: str | None) -> None:
+def warn_deprecated_mode(mode: str | None) -> None:
     """Thin shim for retired ``mode=`` arguments: warn, never change math."""
     if mode is None:
         return
@@ -134,6 +135,12 @@ class LithoConfig:
     ``"scipy"`` (threaded) or ``"auto"`` (see :mod:`repro.litho.fft`)."""
     fft_workers: int | None = None
     """Thread count for the scipy backend; ``None`` uses every core."""
+    spectra_store: str | None = None
+    """Directory of the disk-persistent kernel-spectra store
+    (:mod:`repro.litho.store`); ``None`` disables persistence.  A warm
+    store removes the per-shape TCC build from fresh processes without
+    changing any simulated value (stored spectra are bit-for-bit equal
+    to an in-process build)."""
 
     def __post_init__(self) -> None:
         if self.pixel_nm <= 0:
@@ -173,22 +180,46 @@ class LithographySimulator:
     _kernel_sets: dict[float, OpticalKernelSet] = field(
         default_factory=dict, repr=False
     )
+    _spectra_store: object | None = field(default=None, repr=False)
+    _init_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False
+    )
+
+    def spectra_store(self):
+        """The configured kernel-spectra store (one per simulator), or
+        ``None`` when persistence is disabled."""
+        with self._init_lock:
+            if self._spectra_store is None and self.config.spectra_store:
+                from repro.litho.store import open_store
+
+                self._spectra_store = open_store(self.config.spectra_store)
+            return self._spectra_store
 
     def kernel_set(self, defocus_nm: float = 0.0) -> OpticalKernelSet:
-        """Kernels for one focus condition (built once, then cached)."""
-        if defocus_nm not in self._kernel_sets:
-            cfg = self.config
-            self._kernel_sets[defocus_nm] = build_kernel_set(
-                pixel_nm=cfg.pixel_nm,
-                defocus_nm=defocus_nm,
-                source=cfg.source,
-                period_nm=cfg.period_nm,
-                max_kernels=cfg.max_kernels,
-                energy_fraction=cfg.energy_fraction,
-                fft_backend=cfg.fft_backend,
-                fft_workers=cfg.fft_workers,
-            )
-        return self._kernel_sets[defocus_nm]
+        """Kernels for one focus condition (built once, then cached).
+
+        Lazy init is locked: the service's thread-pooled ``map_suite``
+        drives one shared simulator from several threads, and a
+        concurrent first call must not build (and then discard) the set
+        twice."""
+        if defocus_nm in self._kernel_sets:
+            return self._kernel_sets[defocus_nm]
+        cfg = self.config
+        store = self.spectra_store()
+        with self._init_lock:
+            if defocus_nm not in self._kernel_sets:
+                self._kernel_sets[defocus_nm] = build_kernel_set(
+                    pixel_nm=cfg.pixel_nm,
+                    defocus_nm=defocus_nm,
+                    source=cfg.source,
+                    period_nm=cfg.period_nm,
+                    max_kernels=cfg.max_kernels,
+                    energy_fraction=cfg.energy_fraction,
+                    fft_backend=cfg.fft_backend,
+                    fft_workers=cfg.fft_workers,
+                    spectra_store=store,
+                )
+            return self._kernel_sets[defocus_nm]
 
     def corners(self) -> tuple[ProcessCorner, ProcessCorner, ProcessCorner]:
         return standard_corners(self.config.defocus_nm, self.config.dose_variation)
@@ -245,7 +276,7 @@ class LithographySimulator:
         ``mode`` is deprecated and ignored (the engine is always exact);
         passing ``"exact"`` or ``"spectral"`` warns, anything else raises.
         """
-        _warn_deprecated_mode(mode)
+        warn_deprecated_mode(mode)
         if isinstance(masks, np.ndarray):
             stack = masks
         else:

@@ -31,7 +31,11 @@ from repro.geometry.layout import Clip
 from repro.geometry.mask_edit import MaskState
 from repro.geometry.raster import Grid, rasterize
 from repro.geometry.segmentation import Segment, fragment_clip
-from repro.litho.simulator import LithographySimulator, LithoResult
+from repro.litho.simulator import (
+    LithographySimulator,
+    LithoResult,
+    warn_deprecated_mode,
+)
 from repro.metrology.epe import (
     EPEReport,
     measure_epe,
@@ -148,14 +152,16 @@ class OPCEnvironment:
 
         Results are bit-for-bit identical to mapping :meth:`evaluate`
         over ``masks``.  ``mode`` is deprecated and ignored (the unified
-        engine is always exact).
+        engine is always exact); the shim warns here and is never
+        forwarded into the simulator.
         """
+        warn_deprecated_mode(mode)
         if not masks:
             raise RLError("evaluate_batch needs at least one mask state")
         images = np.stack(
             [rasterize(mask.mask_polygons(), self.grid) for mask in masks]
         )
-        results = self.simulator.simulate_batch(images, self.grid, mode=mode)
+        results = self.simulator.simulate_batch(images, self.grid)
         return self._metrology_batch(masks, results)
 
     def _initial_mask(self, bias_nm: float | None = None) -> MaskState:
@@ -233,8 +239,9 @@ class OPCEnvironment:
         reward)`` pair is bit-for-bit identical to :meth:`step` on that
         state alone.  This is the transition primitive of
         population-based training and lockstep teacher rollouts.
-        ``mode`` is deprecated and ignored.
+        ``mode`` is deprecated and ignored (warn-only shim).
         """
+        warn_deprecated_mode(mode)
         actions = np.asarray(action_indices)
         if actions.ndim != 2 or actions.shape[0] != len(states) or not len(states):
             raise RLError(
@@ -246,7 +253,7 @@ class OPCEnvironment:
         masks = [
             state.mask.moved(move_set[row]) for state, row in zip(states, actions)
         ]
-        next_states = self.evaluate_batch(masks, mode=mode)
+        next_states = self.evaluate_batch(masks)
         return [
             (nxt, self._reward(state, nxt))
             for state, nxt in zip(states, next_states)
@@ -271,12 +278,14 @@ class OPCEnvironment:
         ``candidate_actions`` is ``(A, n_segments)`` movement indices;
         returns one ``(next_state, reward)`` pair per candidate, each
         bit-for-bit identical to what :meth:`step` would have produced
-        for that candidate.  ``mode`` is deprecated and ignored.
+        for that candidate.  ``mode`` is deprecated and ignored
+        (warn-only shim).
         """
+        warn_deprecated_mode(mode)
         candidates = np.asarray(candidate_actions)
         if candidates.ndim != 2 or candidates.shape[0] == 0:
             raise RLError(
                 "candidate actions must be a non-empty (A, n_segments) "
                 f"matrix, got shape {candidates.shape}"
             )
-        return self.step_batch([state] * len(candidates), candidates, mode=mode)
+        return self.step_batch([state] * len(candidates), candidates)

@@ -1,0 +1,91 @@
+"""Serving-grade front door for mask optimization.
+
+This package is the single public entry point from "here is a clip" to
+"here are its reported-and-verified EPE / PV-band numbers".  Everything
+below it — the CAMO agent, the baseline engines, the frequency-native
+lithography core, the batched metrology — stays importable, but scripts,
+examples, benchmarks, and the ``python -m repro`` CLI all route through
+here so cross-clip batching and kernel-spectra persistence happen in one
+place instead of being re-wired per caller.
+
+Request lifecycle
+-----------------
+
+::
+
+    caller                MaskOptService                      litho/metrology
+    ------                --------------                      ---------------
+    OptRequest ──submit──▶ queue (ticket id)
+                               │
+                 run_all() / map_suite()
+                               │
+                     engine_for(request) ── registry build + train
+                               │              (cached per name/overrides)
+                     engine.optimize(clip)  ── per-clip OPC loop
+                               │                (engines unchanged)
+                               ▼
+                  ShapeBinScheduler.add_outcome
+                     bins by (grid shape, EPE search range)
+                     across clips *and* engines
+                               │
+                            flush ──────▶ one simulate_batch per bin
+                               │          one measure_epe_grouped per bin
+                     drift check: |reported − re-measured| ≤ 1e-6 nm
+                               │          (MetrologyError on divergence)
+                               ▼
+    OptResult ◀── verified_epe_nm, EPE/PVB/RT/steps, outcome
+
+Components:
+
+* :class:`~repro.service.api.OptRequest` / :class:`~repro.service.api.
+  OptResult` — typed, JSON-friendly request/response records.
+* :mod:`repro.service.registry` — engines by name (``camo``, ``mbopc`` /
+  ``calibre``, ``rlopc``, ``damo``, ``ilt``), extensible via
+  :func:`~repro.service.registry.register_engine`.
+* :class:`~repro.service.scheduler.ShapeBinScheduler` — the cross-clip
+  batching heart: at most one ``simulate_batch`` (which itself sweeps
+  all three process corners from one shared forward FFT) and one
+  ``measure_epe_grouped`` per (grid-shape, search-range) bin per
+  verification pass.
+* :class:`~repro.service.service.MaskOptService` — queue, engine cache,
+  sync ``submit``/``run_all``, and the thread-pooled ``map_suite`` for
+  multi-core hosts (pair with ``LithoConfig(fft_backend="scipy")``,
+  whose transforms release the GIL and split across the batch axis).
+
+The shared simulator inherits everything from
+:class:`~repro.litho.simulator.LithoConfig`, including
+``spectra_store=`` — point it (or the ``REPRO_SPECTRA_STORE`` env
+variable consumed by the CLI) at a directory and short-lived workers
+skip the per-shape TCC warmup entirely (:mod:`repro.litho.store`).
+
+Numerical contract: service results are bit-for-bit identical to the
+pre-service per-script path (direct ``engine.optimize`` + one-at-a-time
+re-simulation); batching only amortizes transforms, it never changes a
+reported number.
+"""
+
+from repro.service.api import OptRequest, OptResult
+from repro.service.registry import (
+    available_engines,
+    create_engine,
+    register_engine,
+)
+from repro.service.scheduler import (
+    ShapeBinScheduler,
+    VerifyItem,
+    final_mask_image,
+)
+from repro.service.service import MaskOptService, engine_epe_search_nm
+
+__all__ = [
+    "OptRequest",
+    "OptResult",
+    "MaskOptService",
+    "available_engines",
+    "create_engine",
+    "register_engine",
+    "ShapeBinScheduler",
+    "VerifyItem",
+    "final_mask_image",
+    "engine_epe_search_nm",
+]

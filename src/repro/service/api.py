@@ -1,0 +1,137 @@
+"""Typed request/response records of the mask-optimization service.
+
+:class:`OptRequest` is the unit of work a caller hands to
+:class:`~repro.service.service.MaskOptService`; :class:`OptResult` is
+what comes back.  Both are plain dataclasses so they serialize trivially
+(``OptResult.to_dict`` feeds the CLI's ``--json`` output) and carry no
+behaviour beyond validation — scheduling, engine construction, and
+metrology live in the service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import ServiceError
+from repro.geometry.layout import Clip
+
+
+@dataclass(frozen=True)
+class OptRequest:
+    """One clip to optimize.
+
+    Attributes:
+        clip: The layout window to correct.
+        engine: Either a registry name (``"camo"``, ``"mbopc"`` /
+            ``"calibre"``, ``"rlopc"``, ``"damo"``, ``"ilt"`` — see
+            :mod:`repro.service.registry`) or an already-constructed
+            engine instance implementing the ``OPCEngine`` protocol
+            (anything with ``optimize(clip, **kwargs)``).
+        engine_overrides: Config-field overrides applied when the engine
+            is built from the registry (ignored for instances, which
+            arrive fully configured).
+        optimize_kwargs: Extra keyword arguments forwarded to
+            ``engine.optimize`` (e.g. ``max_updates=``).
+        verify: Whether this request participates in the shape-binned
+            batched re-simulation cross-check after optimization.
+        epe_search_nm: Contour search range for the verification
+            metrology; ``None`` resolves to the engine config's
+            ``epe_search_nm`` (falling back to the shared 40 nm default)
+            so a correctly-reporting engine is never flagged as drifting.
+        train_clips: Clips to train a registry-built engine on before its
+            first optimization (engines without a ``train`` method, like
+            MB-OPC and pixel ILT, reject non-empty values).
+    """
+
+    clip: Clip
+    engine: Any = "mbopc"
+    engine_overrides: Mapping[str, Any] = field(default_factory=dict)
+    optimize_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    verify: bool = True
+    epe_search_nm: float | None = None
+    train_clips: tuple[Clip, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.clip, Clip):
+            raise ServiceError(
+                f"OptRequest.clip must be a Clip, got {type(self.clip).__name__}"
+            )
+        if isinstance(self.engine, str) and not self.engine:
+            raise ServiceError("OptRequest.engine name must be non-empty")
+        if not isinstance(self.engine, str):
+            if not callable(getattr(self.engine, "optimize", None)):
+                raise ServiceError(
+                    "OptRequest.engine must be a registry name or an object "
+                    "with an optimize(clip) method"
+                )
+            if self.engine_overrides:
+                raise ServiceError(
+                    "engine_overrides only apply to registry-built engines; "
+                    "configure the instance directly instead"
+                )
+        if self.epe_search_nm is not None and self.epe_search_nm <= 0:
+            raise ServiceError(
+                f"epe_search_nm must be positive, got {self.epe_search_nm}"
+            )
+
+    @property
+    def engine_label(self) -> str:
+        """Human-readable engine identifier for results and logs."""
+        if isinstance(self.engine, str):
+            return self.engine
+        return getattr(self.engine, "name", type(self.engine).__name__)
+
+
+@dataclass(frozen=True)
+class OptResult:
+    """The service's answer for one :class:`OptRequest`.
+
+    ``epe_nm`` / ``pvband_nm2`` are the numbers the engine itself
+    reported; ``verified_epe_nm`` is the shape-binned batched
+    re-simulation's independent measurement (``None`` when verification
+    was skipped) — the service raises
+    :class:`~repro.errors.MetrologyError` before returning if the two
+    drift apart, so a populated field certifies agreement.
+    """
+
+    request_id: int
+    clip_name: str
+    engine: str
+    epe_nm: float
+    pvband_nm2: float
+    runtime_s: float
+    steps: int
+    early_exited: bool
+    verified_epe_nm: float | None = None
+    outcome: Any = field(default=None, repr=False, compare=False)
+
+    def to_row(self):
+        """Project onto the comparison-table record
+        (:class:`repro.eval.metrics.EngineRow`) used by the tables."""
+        # Imported lazily: repro.eval's package __init__ pulls in the
+        # runner, which itself builds on this service package.
+        from repro.eval.metrics import EngineRow
+
+        return EngineRow(
+            clip_name=self.clip_name,
+            epe_nm=self.epe_nm,
+            pvband_nm2=self.pvband_nm2,
+            runtime_s=self.runtime_s,
+            steps=self.steps,
+            early_exited=self.early_exited,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready summary (drops the in-memory outcome object)."""
+        return {
+            "request_id": self.request_id,
+            "clip": self.clip_name,
+            "engine": self.engine,
+            "epe_nm": self.epe_nm,
+            "pvband_nm2": self.pvband_nm2,
+            "runtime_s": self.runtime_s,
+            "steps": self.steps,
+            "early_exited": self.early_exited,
+            "verified_epe_nm": self.verified_epe_nm,
+        }

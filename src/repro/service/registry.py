@@ -1,0 +1,111 @@
+"""Engine registry: every OPC engine behind one constructor-by-name.
+
+The service (and the ``python -m repro`` CLI) refer to engines by short
+names; each name maps to a factory ``(simulator, overrides) -> engine``
+building the engine's config dataclass from the override mapping, so a
+request can carry plain ``{"max_updates": 5}``-style dictionaries
+instead of importing config classes.  All built engines satisfy the
+:class:`repro.eval.runner.OPCEngine` protocol.
+
+Out of the box: ``camo`` (the paper's agent), ``mbopc`` (the
+Calibre-like model-based baseline, alias ``calibre``), ``rlopc``,
+``damo``, and ``ilt``.  Third-party engines join via
+:func:`register_engine`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.errors import ServiceError
+from repro.litho.simulator import LithographySimulator
+
+EngineFactory = Callable[[LithographySimulator, dict], Any]
+
+
+def _camo(simulator: LithographySimulator, overrides: dict):
+    from repro.core.agent import CAMO
+    from repro.core.config import CamoConfig
+
+    return CAMO(CamoConfig(**overrides), simulator)
+
+
+def _mbopc(simulator: LithographySimulator, overrides: dict):
+    from repro.baselines.mbopc import MBOPC, MBOPCConfig
+
+    return MBOPC(MBOPCConfig(**overrides), simulator)
+
+
+def _rlopc(simulator: LithographySimulator, overrides: dict):
+    from repro.baselines.rlopc import RLOPC, RLOPCConfig
+
+    return RLOPC(RLOPCConfig(**overrides), simulator)
+
+
+def _damo(simulator: LithographySimulator, overrides: dict):
+    from repro.baselines.damo import DamoConfig, DamoLikeOPC
+
+    return DamoLikeOPC(DamoConfig(**overrides), simulator)
+
+
+def _ilt(simulator: LithographySimulator, overrides: dict):
+    from repro.baselines.ilt import ILTConfig, PixelILT
+
+    return PixelILT(ILTConfig(**overrides), simulator)
+
+
+_REGISTRY: dict[str, EngineFactory] = {
+    "camo": _camo,
+    "mbopc": _mbopc,
+    "calibre": _mbopc,
+    "rlopc": _rlopc,
+    "damo": _damo,
+    "ilt": _ilt,
+}
+
+
+def available_engines() -> tuple[str, ...]:
+    """Registered engine names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def register_engine(
+    name: str, factory: EngineFactory, overwrite: bool = False
+) -> None:
+    """Add (or replace, with ``overwrite=True``) an engine factory."""
+    if not name or not isinstance(name, str):
+        raise ServiceError(f"engine name must be a non-empty string, got {name!r}")
+    if name in _REGISTRY and not overwrite:
+        raise ServiceError(
+            f"engine {name!r} is already registered; pass overwrite=True "
+            "to replace it"
+        )
+    if not callable(factory):
+        raise ServiceError(f"engine factory for {name!r} is not callable")
+    _REGISTRY[name] = factory
+
+
+def create_engine(
+    name: str,
+    simulator: LithographySimulator,
+    overrides: Mapping[str, Any] | None = None,
+):
+    """Build a registered engine against ``simulator``.
+
+    ``overrides`` are keyword arguments for the engine's config
+    dataclass; unknown fields surface as the config's own ``TypeError``
+    / ``ConfigError`` so typos fail loudly at request time, not inside a
+    batch.
+    """
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise ServiceError(
+            f"unknown engine {name!r}; registered engines: "
+            f"{', '.join(available_engines())}"
+        )
+    try:
+        return factory(simulator, dict(overrides or {}))
+    except TypeError as exc:
+        raise ServiceError(
+            f"bad overrides for engine {name!r}: {exc}"
+        ) from exc

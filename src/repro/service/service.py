@@ -1,0 +1,292 @@
+"""`MaskOptService`: the serving front door for mask optimization.
+
+One service instance owns a shared :class:`LithographySimulator`
+(optionally backed by a disk-persistent kernel-spectra store), an engine
+cache, a submission queue, and the shape-binned verification scheduler.
+Callers either queue :class:`~repro.service.api.OptRequest` records with
+:meth:`MaskOptService.submit` and drain them with
+:meth:`~MaskOptService.run_all`, or hand a whole benchmark suite to
+:meth:`~MaskOptService.map_suite`, which fans the engines out over a
+thread pool (the scipy FFT backend releases the GIL, so litho work
+genuinely overlaps on multi-core hosts) and still funnels *all*
+verification through one cross-engine batched pass.
+
+Numerical contract: results are bit-for-bit identical to calling each
+engine's ``optimize`` directly and re-measuring masks one at a time —
+engines run unmodified, the scheduler's batched re-simulation is
+batch-size independent by construction, and threading never reorders any
+per-engine computation (each engine instance is driven by exactly one
+thread; the litho caches it shares are value-deterministic).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import MetrologyError, ServiceError
+from repro.geometry.layout import Clip
+from repro.litho.simulator import LithoConfig, LithographySimulator
+from repro.service.api import OptRequest, OptResult
+from repro.service.registry import create_engine
+from repro.service.scheduler import ShapeBinScheduler
+
+_VERIFY_TOLERANCE_NM = 1e-6
+_DEFAULT_EPE_SEARCH_NM = 40.0
+
+
+def engine_epe_search_nm(engine) -> float:
+    """The contour-search range an engine's own metrology used.
+
+    Engines without the config knob fall back to the shared 40 nm
+    default, mirroring what their environments do internally.
+    """
+    return float(
+        getattr(getattr(engine, "config", None), "epe_search_nm",
+                _DEFAULT_EPE_SEARCH_NM)
+    )
+
+
+class MaskOptService:
+    """Request/response mask optimization over one shared simulator."""
+
+    def __init__(
+        self,
+        simulator: LithographySimulator | None = None,
+        litho_config: LithoConfig | None = None,
+        verify_tolerance_nm: float = _VERIFY_TOLERANCE_NM,
+    ) -> None:
+        if simulator is not None and litho_config is not None:
+            raise ServiceError(
+                "pass either a simulator or a litho_config, not both"
+            )
+        if simulator is None:
+            simulator = LithographySimulator(litho_config or LithoConfig())
+        self.simulator = simulator
+        self.verify_tolerance_nm = float(verify_tolerance_nm)
+        self.scheduler = ShapeBinScheduler()
+        self._pending: list[tuple[int, OptRequest]] = []
+        self._engines: dict[tuple, Any] = {}
+        self._next_id = 0
+
+    # -- engine management ---------------------------------------------------
+    def engine_for(self, request: OptRequest):
+        """Resolve a request's engine (instances pass through; registry
+        builds are cached per (name, overrides, training suite) so a
+        suite of requests shares one engine — and one training run)."""
+        if not isinstance(request.engine, str):
+            if request.train_clips:
+                raise ServiceError(
+                    "train_clips only applies to registry-built engines; "
+                    "train the instance before submitting"
+                )
+            return request.engine
+        key = (
+            request.engine,
+            tuple(sorted(
+                (k, repr(v)) for k, v in request.engine_overrides.items()
+            )),
+            tuple(clip.name for clip in request.train_clips),
+        )
+        engine = self._engines.get(key)
+        if engine is None:
+            engine = create_engine(
+                request.engine, self.simulator, request.engine_overrides
+            )
+            if request.train_clips:
+                train = getattr(engine, "train", None)
+                if not callable(train):
+                    raise ServiceError(
+                        f"engine {request.engine!r} has no train() method "
+                        "but the request carries train_clips"
+                    )
+                train(list(request.train_clips))
+            self._engines[key] = engine
+        return engine
+
+    # -- submission / execution ----------------------------------------------
+    def submit(self, request: OptRequest) -> int:
+        """Queue a request; returns its ticket id (position-stable)."""
+        if not isinstance(request, OptRequest):
+            raise ServiceError(
+                f"submit() takes an OptRequest, got {type(request).__name__}"
+            )
+        ticket = self._next_id
+        self._next_id += 1
+        self._pending.append((ticket, request))
+        return ticket
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def run_all(self, verify: bool = True) -> list[OptResult]:
+        """Drain the queue in submission order and return all results.
+
+        Optimizations run sequentially (use :meth:`map_suite` for the
+        thread-pooled path); afterwards every verifiable outcome joins
+        one shape-binned batched re-simulation pass, and any engine whose
+        reported EPE drifts from the independent re-measurement by more
+        than ``verify_tolerance_nm`` raises :class:`MetrologyError`.
+        """
+        queued = self._pending
+        self._pending = []
+        executed = []
+        for ticket, request in queued:
+            engine = self.engine_for(request)
+            outcome = engine.optimize(
+                request.clip, **dict(request.optimize_kwargs)
+            )
+            executed.append((ticket, request, engine, outcome))
+        return self._finalize(executed, verify)
+
+    def map_suite(
+        self,
+        engines: Mapping[str, Any] | Sequence[str],
+        clips: Iterable[Clip],
+        max_workers: int | None = None,
+        verify: bool = True,
+        **optimize_kwargs,
+    ) -> dict:
+        """Run several engines over one suite, thread-pooled per engine.
+
+        ``engines`` maps display labels to engine specs (registry names
+        or instances); a bare sequence of names labels each engine by its
+        name.  Every engine sweeps the full suite in clip order on its
+        own thread — an engine instance is never shared between threads,
+        so per-engine numbers are identical to a sequential sweep — then
+        all outcomes from all engines share **one** verification pass
+        whose scheduler bins by grid shape across the whole suite-cross-
+        engine matrix.  Returns ``{label:
+        :class:`~repro.eval.metrics.SuiteResult`}`` in ``engines`` order.
+        """
+        from repro.eval.metrics import SuiteResult  # avoid eval<->service cycle
+
+        if isinstance(engines, Mapping):
+            specs = dict(engines)
+        else:
+            specs = {name: name for name in engines}
+        if not specs:
+            raise ServiceError("map_suite needs at least one engine")
+        clip_list = list(clips)
+        if not clip_list:
+            raise ServiceError("map_suite needs at least one clip")
+
+        # Resolve (and train) engines up front, in label order, on the
+        # calling thread — construction order stays deterministic.
+        resolved = {
+            label: self.engine_for(OptRequest(clip=clip_list[0], engine=spec))
+            for label, spec in specs.items()
+        }
+        requests: list[tuple[int, OptRequest, Any]] = []
+        for label in specs:
+            for clip in clip_list:
+                request = OptRequest(
+                    clip=clip,
+                    engine=resolved[label],
+                    optimize_kwargs=dict(optimize_kwargs),
+                    verify=verify,
+                )
+                ticket = self._next_id
+                self._next_id += 1
+                requests.append((ticket, request, label))
+
+        def sweep(label: str) -> list:
+            engine = resolved[label]
+            return [
+                engine.optimize(clip, **optimize_kwargs) for clip in clip_list
+            ]
+
+        workers = max_workers or min(
+            len(specs), max(os.cpu_count() or 1, 1)
+        )
+        if len({id(engine) for engine in resolved.values()}) < len(resolved):
+            # Two labels resolved to one cached engine object; driving it
+            # from two threads would interleave its internal state, so
+            # fall back to the sequential sweep (numbers are identical).
+            workers = 1
+        if workers > 1 and len(specs) > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                outcome_lists = list(pool.map(sweep, specs))
+        else:
+            outcome_lists = [sweep(label) for label in specs]
+
+        executed = []
+        by_label: dict[str, list[OptResult]] = {label: [] for label in specs}
+        cursor = iter(requests)
+        for label, outcomes in zip(specs, outcome_lists):
+            for outcome in outcomes:
+                ticket, request, _ = next(cursor)
+                executed.append((ticket, request, resolved[label], outcome))
+        results = self._finalize(executed, verify)
+        for (ticket, request, label), result in zip(requests, results):
+            by_label[label].append(result)
+        suites: dict[str, SuiteResult] = {}
+        for label in specs:
+            suite = SuiteResult(engine=label)
+            for result in by_label[label]:
+                suite.add(result.to_row())
+            suites[label] = suite
+        return suites
+
+    # -- shared tail: verification + result assembly --------------------------
+    def _finalize(
+        self, executed: list[tuple[int, OptRequest, Any, Any]], verify: bool
+    ) -> list[OptResult]:
+        measured: dict[int, float] = {}
+        if verify:
+            for ticket, request, engine, outcome in executed:
+                if not request.verify:
+                    continue
+                search_nm = (
+                    float(request.epe_search_nm)
+                    if request.epe_search_nm is not None
+                    else engine_epe_search_nm(engine)
+                )
+                self.scheduler.add_outcome(
+                    ticket, request.clip, outcome, self.simulator, search_nm
+                )
+            measured = self.scheduler.flush(self.simulator)
+
+        results = []
+        for ticket, request, engine, outcome in executed:
+            verified = measured.get(ticket)
+            reported = float(outcome.epe_total)
+            if verified is not None:
+                drift = abs(verified - reported)
+                if drift > self.verify_tolerance_nm:
+                    raise MetrologyError(
+                        f"{request.engine_label} reported EPE "
+                        f"{reported:.6f} nm on {request.clip.name} but "
+                        f"batched re-simulation measured {verified:.6f} nm "
+                        f"(drift {drift:.2e})"
+                    )
+            results.append(OptResult(
+                request_id=ticket,
+                clip_name=request.clip.name,
+                engine=request.engine_label,
+                epe_nm=reported,
+                pvband_nm2=float(outcome.pvband),
+                runtime_s=float(outcome.runtime_s),
+                steps=int(outcome.steps),
+                early_exited=bool(outcome.early_exited),
+                verified_epe_nm=verified,
+                outcome=outcome,
+            ))
+        return results
+
+    # -- introspection --------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Serving counters: verification batching + spectra-store state."""
+        info: dict[str, Any] = {
+            "requests_issued": self._next_id,
+            "pending": len(self._pending),
+            "engines_cached": len(self._engines),
+            "verify_batch_calls": self.scheduler.batch_calls,
+            "verify_items": self.scheduler.items_flushed,
+        }
+        store = self.simulator.spectra_store()
+        if store is not None:
+            info["spectra_store"] = {"root": store.root, **store.stats()}
+        return info

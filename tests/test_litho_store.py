@@ -1,0 +1,185 @@
+"""Tests for the disk-persistent kernel-spectra store (litho/store.py)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import LithoError
+from repro.litho.kernels import OpticalKernelSet
+from repro.litho.simulator import LithoConfig, LithographySimulator
+from repro.litho.source import SourceSpec
+from repro.litho.store import (
+    KernelSpectraStore,
+    open_store,
+    optics_fingerprint,
+)
+
+SHAPE = (160, 160)
+_SPECTRA_FIELDS = (
+    "weights",
+    "sub_spectra",
+    "rows_src",
+    "cols_src",
+    "rows_dst",
+    "cols_dst",
+    "up_rows_src",
+    "up_cols_src",
+    "up_rows_dst",
+    "up_cols_dst",
+)
+
+
+def fresh_set(store=None, defocus_nm=0.0, max_kernels=4):
+    """An uncached kernel set (bypasses build_kernel_set's lru_cache), as
+    a fresh worker process would construct it."""
+    return OpticalKernelSet(
+        pixel_nm=8.0,
+        defocus_nm=defocus_nm,
+        source=SourceSpec(),
+        max_kernels=max_kernels,
+        spectra_store=store,
+    )
+
+
+def assert_spectra_equal(a, b):
+    assert a.shape == b.shape
+    assert a.band == b.band
+    assert a.subgrid == b.subgrid
+    assert a.compact == b.compact
+    for name in _SPECTRA_FIELDS:
+        assert np.array_equal(getattr(a, name), getattr(b, name)), name
+
+
+class TestStoreRoundTrip:
+    def test_warm_load_is_bit_for_bit(self, tmp_path):
+        store = KernelSpectraStore(str(tmp_path))
+        built = fresh_set(store).band_spectra(SHAPE)
+        loaded = fresh_set(store).band_spectra(SHAPE)
+        assert_spectra_equal(built, loaded)
+        assert store.writes == 1
+        assert store.hits == 1
+
+    def test_simulation_unchanged_by_store(self, tmp_path):
+        """A store-backed simulator must produce bit-identical images to
+        a store-less one, cold and warm."""
+        mask = np.zeros(SHAPE)
+        mask[60:84, 60:84] = 1.0
+        bare = fresh_set().convolve_intensity_batch(mask[None])
+        store = KernelSpectraStore(str(tmp_path))
+        cold = fresh_set(store).convolve_intensity_batch(mask[None])
+        warm = fresh_set(store).convolve_intensity_batch(mask[None])
+        assert np.array_equal(bare, cold)
+        assert np.array_equal(bare, warm)
+
+    def test_entries_keyed_by_shape_and_optics(self, tmp_path):
+        store = KernelSpectraStore(str(tmp_path))
+        focus = fresh_set(store)
+        focus.band_spectra(SHAPE)
+        focus.band_spectra((128, 128))
+        fresh_set(store, defocus_nm=25.0).band_spectra(SHAPE)
+        assert store.entry_count() == 3
+
+    def test_fingerprint_sensitivity(self):
+        base = fresh_set()
+        assert optics_fingerprint(base) == optics_fingerprint(fresh_set())
+        assert optics_fingerprint(base) != optics_fingerprint(
+            fresh_set(defocus_nm=25.0)
+        )
+        assert optics_fingerprint(base) != optics_fingerprint(
+            fresh_set(max_kernels=6)
+        )
+
+    def test_fingerprint_rejects_legacy(self):
+        weights = np.ones(1)
+        kernels = np.ones((1, 32, 32), dtype=np.complex128)
+        legacy = OpticalKernelSet(
+            pixel_nm=8.0, defocus_nm=0.0, weights=weights, kernels=kernels
+        )
+        with pytest.raises(LithoError, match="legacy"):
+            optics_fingerprint(legacy)
+
+
+class TestStoreRobustness:
+    def test_corrupt_entry_is_rebuilt(self, tmp_path):
+        store = KernelSpectraStore(str(tmp_path))
+        warmed = fresh_set(store)
+        built = warmed.band_spectra(SHAPE)
+        path = store.entry_path(optics_fingerprint(warmed), SHAPE)
+        with open(path, "wb") as handle:
+            handle.write(b"not a zip archive")
+        rebuilt = fresh_set(store).band_spectra(SHAPE)
+        assert_spectra_equal(built, rebuilt)
+        assert store.writes == 2  # the corrupt entry was overwritten
+        # ... and the overwritten entry now loads.
+        assert_spectra_equal(built, fresh_set(store).band_spectra(SHAPE))
+
+    def test_unwritable_store_never_fails_simulation(self, tmp_path):
+        """The store is a cache, not a dependency: when its directory
+        cannot be created (parent is a regular file), the build still
+        succeeds and only warns."""
+        blocker = tmp_path / "blocker.txt"
+        blocker.write_text("in the way")
+        store = KernelSpectraStore(str(blocker / "store"))
+        bare = fresh_set().band_spectra(SHAPE)
+        with pytest.warns(RuntimeWarning, match="store write failed"):
+            built = fresh_set(store).band_spectra(SHAPE)
+        assert_spectra_equal(bare, built)
+        assert store.writes == 0
+
+    def test_missing_directory_is_created(self, tmp_path):
+        store = KernelSpectraStore(str(tmp_path / "nested" / "dir"))
+        fresh_set(store).band_spectra(SHAPE)
+        assert store.entry_count() == 1
+
+    def test_empty_root_rejected(self):
+        with pytest.raises(LithoError, match="directory"):
+            KernelSpectraStore("")
+
+    def test_open_store_is_per_root_singleton(self, tmp_path):
+        a = open_store(str(tmp_path))
+        b = open_store(str(tmp_path))
+        assert a is b
+        assert a == KernelSpectraStore(str(tmp_path))
+
+
+class TestStoreWarmup:
+    def test_warm_store_beats_cold_build(self, tmp_path):
+        """Acceptance gate: on a fresh 'process' (uncached kernel set), a
+        warm store must eliminate TCC-rebuild time — generous > 1.5x
+        margin (measured orders of magnitude higher)."""
+        store = KernelSpectraStore(str(tmp_path))
+        shape = (512, 512)  # production-scale grid: build >> npz read
+
+        start = time.perf_counter()
+        built = fresh_set(store, max_kernels=8).band_spectra(shape)
+        t_cold = time.perf_counter() - start
+
+        t_warm = float("inf")
+        for _ in range(3):
+            warm_set = fresh_set(store, max_kernels=8)
+            start = time.perf_counter()
+            loaded = warm_set.band_spectra(shape)
+            t_warm = min(t_warm, time.perf_counter() - start)
+        assert_spectra_equal(built, loaded)
+        assert t_cold > 1.5 * t_warm, (
+            f"cold build {t_cold * 1e3:.1f} ms should dwarf warm load "
+            f"{t_warm * 1e3:.1f} ms"
+        )
+
+
+class TestSimulatorIntegration:
+    def test_litho_config_wires_store(self, tmp_path):
+        config = LithoConfig(
+            pixel_nm=8.0, max_kernels=4, spectra_store=str(tmp_path)
+        )
+        simulator = LithographySimulator(config)
+        store = simulator.spectra_store()
+        assert store is not None
+        assert simulator.kernel_set(0.0).spectra_store is store
+        # Focus + defocus sets share the one per-simulator store object.
+        assert simulator.kernel_set(25.0).spectra_store is store
+
+    def test_store_disabled_by_default(self):
+        simulator = LithographySimulator(LithoConfig(pixel_nm=8.0))
+        assert simulator.spectra_store() is None

@@ -1,0 +1,361 @@
+"""Tests for the repro.service front door (API, registry, scheduler,
+MaskOptService, CLI).
+
+The acceptance pin: ``MaskOptService.run_all`` over a mixed via+metal
+suite is bit-for-bit identical to the pre-redesign per-script path
+(direct ``engine.optimize`` + one-at-a-time re-simulation), while the
+verification pass issues at most one ``simulate_batch`` call per
+(grid-shape, search-range) bin.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines.mbopc import MBOPC, MBOPCConfig
+from repro.data.stdcell import stdcell_metal_clip
+from repro.data.via_bench import generate_via_clip
+from repro.errors import MetrologyError, ServiceError
+from repro.geometry.segmentation import fragment_clip
+from repro.litho.simulator import LithoConfig, LithographySimulator
+from repro.service import (
+    MaskOptService,
+    OptRequest,
+    available_engines,
+    create_engine,
+    final_mask_image,
+    register_engine,
+)
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return LithographySimulator(
+        LithoConfig(pixel_nm=8.0, period_nm=1024.0, max_kernels=4)
+    )
+
+
+@pytest.fixture(scope="module")
+def mixed_suite():
+    """Mixed via+metal suite spanning two raster grid shapes (160x160
+    and 128x128)."""
+    return [
+        generate_via_clip("sv1", n_vias=2, seed=31, clip_nm=1280),
+        generate_via_clip("sv2", n_vias=2, seed=32, clip_nm=1280),
+        generate_via_clip("sv3", n_vias=2, seed=33, clip_nm=1024),
+        stdcell_metal_clip("sm1", 8, seed=5, clip_nm=1280),
+    ]
+
+
+def make_engine(sim):
+    """A deterministic, training-free engine (fresh per call: MB-OPC is
+    stateless across optimize() calls, so two instances agree
+    bit-for-bit)."""
+    return MBOPC(MBOPCConfig(max_updates=3, initial_bias_nm=3.0), sim)
+
+
+class TestRequestValidation:
+    def test_rejects_non_clip(self):
+        with pytest.raises(ServiceError, match="Clip"):
+            OptRequest(clip="not-a-clip")
+
+    def test_rejects_empty_engine_name(self, mixed_suite):
+        with pytest.raises(ServiceError, match="non-empty"):
+            OptRequest(clip=mixed_suite[0], engine="")
+
+    def test_rejects_engine_without_optimize(self, mixed_suite):
+        with pytest.raises(ServiceError, match="optimize"):
+            OptRequest(clip=mixed_suite[0], engine=object())
+
+    def test_rejects_overrides_on_instances(self, sim, mixed_suite):
+        with pytest.raises(ServiceError, match="overrides"):
+            OptRequest(
+                clip=mixed_suite[0],
+                engine=make_engine(sim),
+                engine_overrides={"max_updates": 1},
+            )
+
+    def test_rejects_bad_search_range(self, mixed_suite):
+        with pytest.raises(ServiceError, match="positive"):
+            OptRequest(clip=mixed_suite[0], epe_search_nm=0.0)
+
+    def test_engine_label(self, sim, mixed_suite):
+        assert OptRequest(clip=mixed_suite[0], engine="camo").engine_label == "camo"
+        instance = OptRequest(clip=mixed_suite[0], engine=make_engine(sim))
+        assert instance.engine_label == "mbopc"
+
+
+class TestRegistry:
+    def test_all_engines_constructible(self, sim):
+        for name in available_engines():
+            engine = create_engine(name, sim)
+            assert callable(engine.optimize)
+
+    def test_unknown_engine(self, sim):
+        with pytest.raises(ServiceError, match="unknown engine"):
+            create_engine("resolve-by-vibes", sim)
+
+    def test_overrides_reach_config(self, sim):
+        engine = create_engine("mbopc", sim, {"max_updates": 7})
+        assert engine.config.max_updates == 7
+
+    def test_bad_override_key(self, sim):
+        with pytest.raises(ServiceError, match="bad overrides"):
+            create_engine("mbopc", sim, {"no_such_knob": 1})
+
+    def test_register_requires_overwrite(self, sim):
+        def factory(simulator, overrides):
+            return make_engine(simulator)
+
+        register_engine("test-dummy", factory)
+        try:
+            with pytest.raises(ServiceError, match="already registered"):
+                register_engine("test-dummy", factory)
+            register_engine("test-dummy", factory, overwrite=True)
+            assert "test-dummy" in available_engines()
+        finally:
+            from repro.service import registry
+
+            registry._REGISTRY.pop("test-dummy", None)
+
+
+class TestRunAllBitForBit:
+    def test_matches_pre_redesign_path_and_bins_batches(
+        self, sim, mixed_suite
+    ):
+        """The acceptance criterion, both halves.
+
+        Reference: the pre-redesign per-script wiring — direct
+        ``engine.optimize`` per clip, then an independent one-clip-at-a-
+        time re-simulation + measurement (no cross-clip batching; batched
+        results are batch-size independent, so the service's grouped pass
+        must reproduce these values exactly).
+        """
+        from repro.metrology.epe import measure_epe_grouped
+
+        reference_engine = make_engine(sim)
+        expected = [reference_engine.optimize(clip) for clip in mixed_suite]
+        expected_epe = {}
+        for clip, outcome in zip(mixed_suite, expected):
+            grid = sim.grid_for(clip)
+            mask = final_mask_image(outcome, grid)
+            litho = sim.simulate_batch(mask[None], grid)[0]
+            (report,) = measure_epe_grouped(
+                litho.aerial[None], [grid], [fragment_clip(clip)],
+                sim.config.threshold, search_nm=40.0,
+            )
+            expected_epe[clip.name] = report.total_abs
+
+        service = MaskOptService(simulator=sim)
+        engine = make_engine(sim)
+        for clip in mixed_suite:
+            service.submit(OptRequest(clip=clip, engine=engine))
+        results = service.run_all()
+
+        # Bit-for-bit identical reported numbers (frozen per-iteration
+        # sweep) and verified EPE equal to the independent single-mask
+        # measurements.
+        assert [r.clip_name for r in results] == [c.name for c in mixed_suite]
+        for result, outcome in zip(results, expected):
+            assert result.epe_nm == outcome.epe_total
+            assert result.pvband_nm2 == outcome.pvband
+            assert result.steps == outcome.steps
+            assert result.early_exited == outcome.early_exited
+            assert result.verified_epe_nm == expected_epe[result.clip_name]
+
+        # At most one simulate_batch per (grid-shape, search-range) bin
+        # per verification pass: 2 distinct shapes -> 2 batched calls.
+        shapes = {sim.grid_for(clip).shape for clip in mixed_suite}
+        assert service.scheduler.batch_calls == len(shapes) == 2
+        assert service.scheduler.items_flushed == len(mixed_suite)
+
+    def test_scheduler_counter_matches_real_litho_calls(
+        self, sim, mixed_suite, monkeypatch
+    ):
+        """`scheduler.batch_calls` (what the other tests assert on) must
+        track actual `simulate_batch` invocations one-for-one."""
+        from repro.service.scheduler import ShapeBinScheduler
+
+        engine = make_engine(sim)
+        scheduler = ShapeBinScheduler()
+        for ticket, clip in enumerate(mixed_suite):
+            added = scheduler.add_outcome(
+                ticket, clip, engine.optimize(clip), sim, 40.0
+            )
+            assert added
+        assert scheduler.pending == len(mixed_suite)
+        assert scheduler.bin_count == 2
+
+        calls = {"n": 0}
+        original = LithographySimulator.simulate_batch
+
+        def counting(self, masks, grid, mode=None):
+            calls["n"] += 1
+            return original(self, masks, grid, mode)
+
+        monkeypatch.setattr(LithographySimulator, "simulate_batch", counting)
+        measured = scheduler.flush(sim)
+        assert calls["n"] == scheduler.batch_calls == 2
+        assert set(measured) == set(range(len(mixed_suite)))
+        assert scheduler.pending == 0  # queue drained
+
+    def test_lying_engine_caught(self, sim, mixed_suite):
+        truthful = make_engine(sim).optimize(mixed_suite[0])
+
+        class LyingEngine:
+            simulator = sim
+
+            def optimize(self, clip, **kwargs):
+                class Fake:
+                    epe_total = truthful.epe_total + 5.0
+                    pvband = truthful.pvband
+                    runtime_s = truthful.runtime_s
+                    steps = truthful.steps
+                    early_exited = truthful.early_exited
+                    final_state = truthful.final_state
+
+                return Fake()
+
+        service = MaskOptService(simulator=sim)
+        service.submit(OptRequest(clip=mixed_suite[0], engine=LyingEngine()))
+        with pytest.raises(MetrologyError, match="re-simulation"):
+            service.run_all()
+
+    def test_verify_disabled(self, sim, mixed_suite):
+        service = MaskOptService(simulator=sim)
+        service.submit(OptRequest(clip=mixed_suite[0], engine=make_engine(sim)))
+        (result,) = service.run_all(verify=False)
+        assert result.verified_epe_nm is None
+        assert service.scheduler.batch_calls == 0
+
+    def test_registry_engine_cached_across_requests(self, sim, mixed_suite):
+        service = MaskOptService(simulator=sim)
+        for clip in mixed_suite[:2]:
+            service.submit(OptRequest(
+                clip=clip, engine="mbopc",
+                engine_overrides={"max_updates": 2},
+            ))
+        service.run_all()
+        assert service.stats()["engines_cached"] == 1
+
+
+class TestMapSuite:
+    def test_matches_run_all_and_shares_one_verify_pass(
+        self, sim, mixed_suite
+    ):
+        sequential = MaskOptService(simulator=sim)
+        for clip in mixed_suite:
+            sequential.submit(OptRequest(clip=clip, engine=make_engine(sim)))
+        expected = sequential.run_all()
+
+        pooled = MaskOptService(simulator=sim)
+        suites = pooled.map_suite(
+            {"MB-A": make_engine(sim), "MB-B": make_engine(sim)},
+            mixed_suite,
+            max_workers=2,
+        )
+        assert list(suites) == ["MB-A", "MB-B"]
+        for label in suites:
+            rows = suites[label].rows
+            assert [row.clip_name for row in rows] == [
+                c.name for c in mixed_suite
+            ]
+            for row, ref in zip(rows, expected):
+                assert row.epe_nm == ref.epe_nm
+                assert row.pvband_nm2 == ref.pvband_nm2
+        # Cross-engine batching: 2 engines x 4 clips over 2 shapes still
+        # flush in exactly 2 batched litho calls.
+        assert pooled.scheduler.batch_calls == 2
+        assert pooled.scheduler.items_flushed == 2 * len(mixed_suite)
+
+    def test_empty_inputs_rejected(self, sim, mixed_suite):
+        service = MaskOptService(simulator=sim)
+        with pytest.raises(ServiceError, match="at least one engine"):
+            service.map_suite({}, mixed_suite)
+        with pytest.raises(ServiceError, match="at least one clip"):
+            service.map_suite(["mbopc"], [])
+
+
+class TestServiceConstruction:
+    def test_simulator_xor_config(self, sim):
+        with pytest.raises(ServiceError, match="not both"):
+            MaskOptService(simulator=sim, litho_config=LithoConfig())
+
+    def test_submit_rejects_non_request(self, sim):
+        service = MaskOptService(simulator=sim)
+        with pytest.raises(ServiceError, match="OptRequest"):
+            service.submit("clip please")
+
+    def test_stats_shape(self, sim, mixed_suite):
+        service = MaskOptService(simulator=sim)
+        service.submit(OptRequest(clip=mixed_suite[0], engine=make_engine(sim)))
+        service.run_all()
+        stats = service.stats()
+        assert stats["requests_issued"] == 1
+        assert stats["pending"] == 0
+        assert stats["verify_batch_calls"] == 1
+
+
+class TestRunnerStillBitForBit:
+    def test_run_engine_on_suite_routes_through_service(
+        self, sim, mixed_suite
+    ):
+        """The re-routed runner returns the same rows as driving the
+        engine directly (pre-redesign semantics preserved)."""
+        from repro.eval.runner import run_engine_on_suite
+
+        expected = [make_engine(sim).optimize(clip) for clip in mixed_suite]
+        suite = run_engine_on_suite(
+            make_engine(sim), mixed_suite, "MB-OPC", verify_simulator=sim
+        )
+        assert suite.engine == "MB-OPC"
+        for row, outcome in zip(suite.rows, expected):
+            assert row.epe_nm == outcome.epe_total
+            assert row.pvband_nm2 == outcome.pvband
+
+
+class TestCLI:
+    def test_optimize_tiny_json(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "result.json"
+        store = tmp_path / "spectra"
+        code = main([
+            "optimize", "--suite", "tiny", "--engine", "mbopc",
+            "--pixel-nm", "8", "--max-kernels", "4",
+            "--opt", "max_updates=2",
+            "--json", str(out), "--store", str(store),
+        ])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "verified" in captured
+        payload = json.loads(out.read_text())
+        assert payload["engine"] == "mbopc"
+        assert payload["engine_overrides"] == {"max_updates": 2}
+        assert len(payload["results"]) == 1
+        row = payload["results"][0]
+        assert row["verified_epe_nm"] == row["epe_nm"]
+        assert payload["service_stats"]["verify_batch_calls"] == 1
+        assert payload["service_stats"]["spectra_store"]["writes"] >= 1
+
+    def test_bench_info(self, capsys):
+        from repro.__main__ import main
+
+        code = main([
+            "bench-info", "--pixel-nm", "8", "--max-kernels", "4",
+            "--window-nm", "1280",
+        ])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "engines" in captured
+        assert "mbopc" in captured
+        assert "pupil band" in captured
+
+    def test_unknown_engine_is_clean_error(self, capsys):
+        from repro.__main__ import main
+
+        code = main(["optimize", "--suite", "tiny", "--engine", "nope",
+                     "--pixel-nm", "8", "--max-kernels", "4"])
+        assert code == 2
+        assert "unknown engine" in capsys.readouterr().err
