@@ -14,8 +14,16 @@ Examples::
     python -m repro optimize --suite tiny --engine mbopc
     python -m repro optimize --suite via --count 2 --engine camo \
         --opt policy_temperature=1e6 --json results.json
+    python -m repro optimize --suite via --engine mbopc --workers 4 \
+        --store /tmp/spectra
     python -m repro table --which 1 --scale smoke
     python -m repro bench-info
+
+``optimize --workers N`` process-shards the suite: N spawned workers
+split the clip list, rebuild the engine from the same config, share the
+kernel-spectra store, and stream results back while verification drains
+full shape bins concurrently (:mod:`repro.service.sharding`).  Sharded
+numbers are bit-for-bit identical to ``--workers 1``.
 
 The kernel-spectra store directory comes from ``--store`` or the
 ``REPRO_SPECTRA_STORE`` environment variable; with either set, fresh
@@ -34,18 +42,55 @@ from repro.errors import ReproError
 from repro.version import __version__
 
 
+def _coerce_override_value(raw: str) -> Any:
+    """Best-effort scalar coercion for ``--opt`` values.
+
+    Beyond plain JSON this accepts what people actually type on a shell:
+    ``True``/``FALSE`` capitalization variants, bare scientific notation
+    and leading-dot floats (``1e-3``, ``.5``, ``+2``), and ``None``.  A
+    value wrapped in matching quotes is *always* a string with the
+    quotes stripped — ``--opt 'tag="1e-3"'`` stays ``"1e-3"``, never
+    0.001 — because that is the only way to force a numeric-looking
+    string through.
+    """
+    text = raw.strip()
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in ("'", '"'):
+        return text[1:-1]
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        pass
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    if lowered in ("null", "none"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
 def _parse_override(text: str) -> tuple[str, Any]:
-    """``key=value`` with JSON-ish value coercion (int/float/bool/str)."""
+    """``key=value`` with scalar value coercion (int/float/bool/str)."""
     if "=" not in text:
         raise argparse.ArgumentTypeError(
             f"override {text!r} must look like key=value"
         )
     key, raw = text.split("=", 1)
-    try:
-        value = json.loads(raw)
-    except json.JSONDecodeError:
-        value = raw
-    return key.strip(), value
+    key = key.strip()
+    if not key:
+        raise argparse.ArgumentTypeError(
+            f"override {text!r} has an empty key"
+        )
+    return key, _coerce_override_value(raw)
 
 
 def _build_clips(args) -> list:
@@ -96,25 +141,39 @@ def cmd_optimize(args) -> int:
     clips = _build_clips(args)
     if not clips:
         raise ReproError("no clips selected")
+    if args.workers < 1:
+        raise ReproError(f"--workers must be >= 1, got {args.workers}")
     overrides = dict(args.opt or [])
-    for clip in clips:
-        service.submit(OptRequest(
-            clip=clip,
-            engine=args.engine,
-            engine_overrides=overrides,
-            verify=not args.no_verify,
-        ))
-    results = service.run_all(verify=not args.no_verify)
+    verify = not args.no_verify
+    if args.workers > 1:
+        # Process-sharded sweep: N spawned workers share the spectra
+        # store and stream outcomes back for overlapped verification.
+        results = service.run_suite_sharded(
+            args.engine, clips, workers=args.workers,
+            engine_overrides=overrides, verify=verify,
+        )
+    else:
+        for clip in clips:
+            service.submit(OptRequest(
+                clip=clip,
+                engine=args.engine,
+                engine_overrides=overrides,
+                verify=verify,
+            ))
+        results = service.run_all(verify=verify)
 
     header = (
         f"{'clip':12s} {'EPE (nm)':>10s} {'PVB (nm^2)':>12s} "
         f"{'RT (s)':>8s} {'steps':>5s}  verified"
     )
     print(f"repro optimize: engine={args.engine} suite={args.suite} "
-          f"clips={len(clips)} pixel={args.pixel_nm} nm")
+          f"clips={len(clips)} pixel={args.pixel_nm} nm "
+          f"workers={args.workers}")
     print(header)
+    verified_marks = {"verified": "ok", "unverified": "-",
+                      "unverifiable": "n/a"}
     for result in results:
-        verified = "-" if result.verified_epe_nm is None else "ok"
+        verified = verified_marks.get(result.outcome, result.outcome)
         print(
             f"{result.clip_name:12s} {result.epe_nm:10.3f} "
             f"{result.pvband_nm2:12.1f} {result.runtime_s:8.2f} "
@@ -136,6 +195,7 @@ def cmd_optimize(args) -> int:
             "command": "optimize",
             "engine": args.engine,
             "suite": args.suite,
+            "workers": args.workers,
             "engine_overrides": overrides,
             "results": [result.to_dict() for result in results],
             "totals": {"epe_nm": total_epe, "runtime_s": total_rt},
@@ -233,6 +293,11 @@ def build_parser() -> argparse.ArgumentParser:
     opt.add_argument("--opt", action="append", type=_parse_override,
                      metavar="KEY=VALUE",
                      help="engine config override (repeatable)")
+    opt.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="process-shard the suite across N spawned "
+                          "workers sharing one kernel-spectra store; "
+                          "verification streams while workers optimize "
+                          "(default 1 = in-process)")
     opt.add_argument("--no-verify", action="store_true",
                      help="skip the batched re-simulation cross-check")
     opt.add_argument("--json", default=None, metavar="PATH",

@@ -58,6 +58,6 @@ def quick_opc() -> QuickResult:
     ))
     results = {r.request_id: r for r in service.run_all()}
     return QuickResult(
-        camo=results[camo_ticket].outcome,
-        baseline=results[baseline_ticket].outcome,
+        camo=results[camo_ticket].raw_outcome,
+        baseline=results[baseline_ticket].raw_outcome,
     )

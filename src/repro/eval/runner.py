@@ -82,6 +82,8 @@ def run_engine_on_suite(
     clips: list[Clip],
     engine_name: str,
     verify_simulator: LithographySimulator | None = None,
+    workers: int = 1,
+    engine_overrides: dict | None = None,
     **optimize_kwargs,
 ) -> SuiteResult:
     """Optimize every clip and collect (EPE, PVB, RT) rows.
@@ -90,9 +92,39 @@ def run_engine_on_suite(
     described in the module docstring.  The sweep routes through
     :class:`~repro.service.MaskOptService` — numbers are bit-for-bit
     identical to calling ``engine.optimize`` per clip directly.
+
+    ``workers > 1`` process-shards the sweep
+    (:meth:`~repro.service.MaskOptService.run_suite_sharded`): ``engine``
+    must then be a registry name or picklable factory (rebuilt with
+    ``engine_overrides`` in each worker), not an instance, and a
+    ``verify_simulator`` is required so the shard spec carries a
+    concrete litho config.  Sharded rows are bit-for-bit identical to
+    the sequential sweep.
     """
+    from repro.errors import ServiceError
     from repro.service import MaskOptService, OptRequest
 
+    if workers > 1:
+        if verify_simulator is None:
+            raise ServiceError(
+                "workers>1 needs a verify_simulator: shard workers "
+                "rebuild their engines from its LithoConfig"
+            )
+        service = MaskOptService(simulator=verify_simulator)
+        result = SuiteResult(engine=engine_name)
+        for opt_result in service.run_suite_sharded(
+            engine, clips, workers=workers,
+            engine_overrides=engine_overrides, verify=True,
+            **optimize_kwargs,
+        ):
+            result.add(opt_result.to_row())
+        return result
+
+    if engine_overrides:
+        raise ServiceError(
+            "engine_overrides only apply to the sharded path (workers>1); "
+            "configure the engine instance directly instead"
+        )
     service = MaskOptService(
         simulator=verify_simulator
         if verify_simulator is not None

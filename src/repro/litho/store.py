@@ -36,6 +36,8 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
+import time
 import zipfile
 
 import numpy as np
@@ -46,18 +48,44 @@ STORE_FORMAT_VERSION = 1
 """Bump when the on-disk layout or the spectra semantics change; entries
 with another version are ignored (treated as cold)."""
 
+ORPHAN_TMP_MAX_AGE_S = 3600.0
+"""Temp files older than this are presumed orphaned by a killed writer
+and swept on the next :func:`open_store` of their root (an in-flight
+atomic write lives milliseconds, not an hour)."""
+
 _OPEN_STORES: dict[str, "KernelSpectraStore"] = {}
+_OPEN_LOCK = threading.Lock()
+
+
+def _normalize_root(root: str) -> str:
+    """Canonical identity of a store directory.
+
+    ``expanduser`` + ``realpath`` so a ``~``-prefixed path, a symlinked
+    root, or a trailing slash all resolve to one key — two spellings of
+    one directory must share one singleton (and one set of stats), never
+    race each other as separate instances.
+    """
+    return os.path.realpath(os.path.expanduser(root))
 
 
 def open_store(root: str) -> "KernelSpectraStore":
     """Per-root singleton store, so every simulator pointed at one
     directory shares one stats-bearing instance (kernel sets are cached
     process-wide and would otherwise report against a stale object)."""
-    key = os.path.abspath(root)
-    store = _OPEN_STORES.get(key)
-    if store is None:
-        store = KernelSpectraStore(key)
-        _OPEN_STORES[key] = store
+    key = _normalize_root(root)
+    with _OPEN_LOCK:
+        store = _OPEN_STORES.get(key)
+        if store is None:
+            store = KernelSpectraStore(key)
+            _OPEN_STORES[key] = store
+            created = True
+        else:
+            created = False
+    if created:
+        # First open in this process: reclaim temp files abandoned by
+        # writers that died mid-save (concurrent shard workers make
+        # those a real possibility, not a theoretical one).
+        store.sweep_orphans()
     return store
 
 SPECTRA_STORE_ENV = "REPRO_SPECTRA_STORE"
@@ -108,10 +136,11 @@ class KernelSpectraStore:
     def __init__(self, root: str) -> None:
         if not root:
             raise LithoError("spectra store needs a directory path")
-        self.root = os.path.abspath(root)
+        self.root = _normalize_root(root)
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self._stats_lock = threading.Lock()
 
     # -- identity -----------------------------------------------------------
     def __eq__(self, other: object) -> bool:
@@ -136,16 +165,52 @@ class KernelSpectraStore:
         )
 
     def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+        with self._stats_lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "writes": self.writes,
+            }
 
     def entry_count(self) -> int:
-        """Number of persisted spectra files currently in the store."""
+        """Number of persisted spectra files currently in the store
+        (in-flight/orphaned ``.tmp-spectra-*`` files don't count)."""
         try:
             return sum(
-                1 for name in os.listdir(self.root) if name.endswith(".npz")
+                1
+                for name in os.listdir(self.root)
+                if name.endswith(".npz") and not name.startswith(".")
             )
         except OSError:
             return 0
+
+    def sweep_orphans(self, max_age_s: float = ORPHAN_TMP_MAX_AGE_S) -> int:
+        """Delete temp files abandoned by writers that died mid-save.
+
+        An atomic write holds its ``.tmp-spectra-*`` file for
+        milliseconds; anything older than ``max_age_s`` is an orphan
+        (e.g. a shard worker killed between ``mkstemp`` and
+        ``os.replace``).  Races are benign: a concurrent sweeper or the
+        original writer finishing first just makes the unlink a no-op.
+        Returns the number of files removed.
+        """
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return 0
+        now = time.time()
+        removed = 0
+        for name in names:
+            if not name.startswith(".tmp-spectra-"):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                if now - os.path.getmtime(path) >= max_age_s:
+                    os.unlink(path)
+                    removed += 1
+            except OSError:
+                pass
+        return removed
 
     # -- persistence --------------------------------------------------------
     def save(self, fingerprint: str, spectra) -> str:
@@ -174,7 +239,8 @@ class KernelSpectraStore:
             except OSError:
                 pass
             raise
-        self.writes += 1
+        with self._stats_lock:
+            self.writes += 1
         return path
 
     def load(self, fingerprint: str, shape: tuple[int, int]):
@@ -206,12 +272,18 @@ class KernelSpectraStore:
             if len(band) != 2 or len(subgrid) != 2:
                 raise ValueError("stored band metadata malformed")
         except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
-            self.misses += 1
+            # Concurrent readers/writers only ever observe a complete old
+            # or complete new entry (atomic replace); everything else —
+            # torn copies from foreign tools, version skew, deleted files
+            # — lands here and is rebuilt.
+            with self._stats_lock:
+                self.misses += 1
             return None
         rows, cols = key
         b0, b1 = band
         m0, m1 = subgrid
-        self.hits += 1
+        with self._stats_lock:
+            self.hits += 1
         # The index vectors are pure functions of (shape, band, subgrid);
         # rebuilding them here keeps the on-disk payload minimal.
         return GridBandSpectra(

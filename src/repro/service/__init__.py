@@ -51,6 +51,15 @@ Components:
   sync ``submit``/``run_all``, and the thread-pooled ``map_suite`` for
   multi-core hosts (pair with ``LithoConfig(fft_backend="scipy")``,
   whose transforms release the GIL and split across the batch axis).
+* :class:`~repro.service.sharding.ShardedSuiteRunner` — process-based
+  sharding *within* one engine's suite (``map_suite(workers=N)``,
+  ``run_suite_sharded``, CLI ``--workers N``): N spawned workers rebuild
+  the engine from a picklable :class:`~repro.service.sharding.
+  EngineSpec`, share one on-disk kernel-spectra store, and stream
+  :class:`~repro.service.sharding.OptOutcome` payloads back as clips
+  finish so verification (``flush_ready``) overlaps optimization.
+  Sharding reorders work, never numbers — sharded results are
+  bit-for-bit identical to the sequential sweep.
 
 The shared simulator inherits everything from
 :class:`~repro.litho.simulator.LithoConfig`, including
@@ -67,6 +76,7 @@ reported number.
 from repro.service.api import OptRequest, OptResult
 from repro.service.registry import (
     available_engines,
+    build_engine,
     create_engine,
     register_engine,
 )
@@ -76,16 +86,25 @@ from repro.service.scheduler import (
     final_mask_image,
 )
 from repro.service.service import MaskOptService, engine_epe_search_nm
+from repro.service.sharding import (
+    EngineSpec,
+    OptOutcome,
+    ShardedSuiteRunner,
+)
 
 __all__ = [
     "OptRequest",
     "OptResult",
     "MaskOptService",
     "available_engines",
+    "build_engine",
     "create_engine",
     "register_engine",
     "ShapeBinScheduler",
     "VerifyItem",
     "final_mask_image",
     "engine_epe_search_nm",
+    "EngineSpec",
+    "OptOutcome",
+    "ShardedSuiteRunner",
 ]

@@ -83,6 +83,11 @@ class OptRequest:
         return getattr(self.engine, "name", type(self.engine).__name__)
 
 
+VERIFICATION_OUTCOMES = ("verified", "unverified", "unverifiable")
+"""The three terminal verification states of a request (see
+:attr:`OptResult.outcome`)."""
+
+
 @dataclass(frozen=True)
 class OptResult:
     """The service's answer for one :class:`OptRequest`.
@@ -93,6 +98,14 @@ class OptResult:
     was skipped) — the service raises
     :class:`~repro.errors.MetrologyError` before returning if the two
     drift apart, so a populated field certifies agreement.
+
+    ``outcome`` states how verification ended: ``"verified"`` (the
+    re-measurement ran and agreed), ``"unverified"`` (the caller opted
+    out), or ``"unverifiable"`` (verification was requested but the
+    engine's final mask could not be recovered — neither a
+    ``final_state`` nor a ``mask_image`` on its outcome — so no
+    independent number exists; callers who require certification must
+    treat this as a failure, the service won't silently drop it).
     """
 
     request_id: int
@@ -104,7 +117,15 @@ class OptResult:
     steps: int
     early_exited: bool
     verified_epe_nm: float | None = None
-    outcome: Any = field(default=None, repr=False, compare=False)
+    outcome: str = "unverified"
+    raw_outcome: Any = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.outcome not in VERIFICATION_OUTCOMES:
+            raise ServiceError(
+                f"OptResult.outcome must be one of {VERIFICATION_OUTCOMES}, "
+                f"got {self.outcome!r}"
+            )
 
     def to_row(self):
         """Project onto the comparison-table record
@@ -134,4 +155,5 @@ class OptResult:
             "steps": self.steps,
             "early_exited": self.early_exited,
             "verified_epe_nm": self.verified_epe_nm,
+            "outcome": self.outcome,
         }

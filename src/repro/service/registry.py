@@ -22,6 +22,24 @@ from repro.litho.simulator import LithographySimulator
 
 EngineFactory = Callable[[LithographySimulator, dict], Any]
 
+DEFAULT_EPE_SEARCH_NM = 40.0
+"""Contour-search fallback for engines without the config knob."""
+
+
+def engine_epe_search_nm(engine) -> float:
+    """The contour-search range an engine's own metrology used.
+
+    Engines without the config knob fall back to the shared default,
+    mirroring what their environments do internally.  Lives here (not in
+    the service module) so shard workers resolve the exact same range
+    the sequential verification path does — a drifting duplicate would
+    silently break the sharded-vs-sequential bit-for-bit pin.
+    """
+    return float(
+        getattr(getattr(engine, "config", None), "epe_search_nm",
+                DEFAULT_EPE_SEARCH_NM)
+    )
+
 
 def _camo(simulator: LithographySimulator, overrides: dict):
     from repro.core.agent import CAMO
@@ -109,3 +127,34 @@ def create_engine(
         raise ServiceError(
             f"bad overrides for engine {name!r}: {exc}"
         ) from exc
+
+
+def build_engine(
+    spec: str | EngineFactory,
+    simulator: LithographySimulator,
+    overrides: Mapping[str, Any] | None = None,
+):
+    """Build an engine from a *buildable spec*: a registry name or a
+    factory callable with the :data:`EngineFactory` signature.
+
+    This is the constructor shard workers run — the spec (unlike an
+    engine instance) is picklable, so it can cross a process boundary
+    and be rebuilt against the worker's own simulator.  Registrations
+    made with :func:`register_engine` are per-process and do *not*
+    travel to spawned workers; pass the factory itself instead.
+    """
+    if isinstance(spec, str):
+        return create_engine(spec, simulator, overrides)
+    if callable(spec):
+        return spec(simulator, dict(overrides or {}))
+    raise ServiceError(
+        "engine spec must be a registry name or a factory callable, got "
+        f"{type(spec).__name__}"
+    )
+
+
+def spec_label(spec: str | EngineFactory) -> str:
+    """Display label for a buildable engine spec."""
+    if isinstance(spec, str):
+        return spec
+    return getattr(spec, "__name__", type(spec).__name__)

@@ -14,6 +14,12 @@ measurements are identical to re-simulating each mask alone.
 ``simulate_batch`` sweeps all three process corners from one shared
 forward FFT, so "one call per bin" already covers every (grid-shape,
 corner) combination.
+
+Verification can also *stream*: :meth:`ShapeBinScheduler.flush_ready`
+drains only the bins that have already accumulated ``min_bin`` masks, so
+the process-sharded suite path (:mod:`repro.service.sharding`) verifies
+full bins while workers are still optimizing and leaves stragglers for
+the terminal :meth:`~ShapeBinScheduler.flush`.
 """
 
 from __future__ import annotations
@@ -104,9 +110,59 @@ class ShapeBinScheduler:
         insertion order, so repeated flushes of the same queue issue the
         same calls in the same order.
         """
+        return self._flush_keys(simulator, list(self._bins))
+
+    def flush_ready(
+        self, simulator: LithographySimulator, min_bin: int = 1
+    ) -> dict[Hashable, float]:
+        """Flush only the bins holding at least ``min_bin`` masks.
+
+        This is the streaming half of verification: while shard workers
+        are still optimizing, the service drains any shape bin that has
+        already filled up instead of waiting for the whole suite — see
+        :meth:`repro.service.service.MaskOptService.run_suite_sharded`.
+        Bins below the threshold stay queued for a later ``flush_ready``
+        or the terminal :meth:`flush`.  Because batched measurements are
+        bit-for-bit independent of the batch composition, *when* a mask
+        is flushed never changes its measured value.
+        """
+        if min_bin < 1:
+            raise ValueError(f"min_bin must be >= 1, got {min_bin}")
+        ready = [
+            key for key, members in self._bins.items()
+            if len(members) >= min_bin
+        ]
+        return self._flush_keys(simulator, ready)
+
+    def discard(self, keys) -> int:
+        """Drop queued items whose ``key`` is in ``keys`` without
+        measuring them (pruning emptied bins); returns the number
+        removed.  Used by aborted sweeps to take back their outcomes so
+        a caller that catches the error and reuses the service doesn't
+        inherit stale masks in its next verification pass.
+        """
+        wanted = set(keys)
+        removed = 0
+        for bin_key in list(self._bins):
+            members = self._bins[bin_key]
+            kept = [item for item in members if item.key not in wanted]
+            removed += len(members) - len(kept)
+            if kept:
+                self._bins[bin_key] = kept
+            else:
+                del self._bins[bin_key]
+        return removed
+
+    def _flush_keys(
+        self, simulator: LithographySimulator, keys: list[tuple]
+    ) -> dict[Hashable, float]:
+        """Flush the named bins (one batched litho + metrology call each,
+        in queue insertion order) and drop them from the queue."""
         measured: dict[Hashable, float] = {}
         threshold = simulator.config.threshold
-        for (_, search_nm), members in self._bins.items():
+        for key in keys:
+            members = self._bins.pop(key)
+            (_, search_nm) = key
             stack = np.stack([item.mask for item in members])
             results = simulator.simulate_batch(stack, members[0].grid)
             self.batch_calls += 1
@@ -120,5 +176,4 @@ class ShapeBinScheduler:
             for item, report in zip(members, reports):
                 measured[item.key] = report.total_abs
             self.items_flushed += len(members)
-        self._bins.clear()
         return measured

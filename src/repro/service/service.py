@@ -11,17 +11,28 @@ thread pool (the scipy FFT backend releases the GIL, so litho work
 genuinely overlaps on multi-core hosts) and still funnels *all*
 verification through one cross-engine batched pass.
 
+For throughput *within* one engine's suite,
+:meth:`~MaskOptService.run_suite_sharded` (also reachable as
+``map_suite(workers=N)`` and ``python -m repro optimize --workers N``)
+partitions the clip list across N spawned worker processes that share
+one on-disk kernel-spectra store and stream outcomes back as they
+finish; verification overlaps optimization by draining full shape bins
+early (:meth:`~repro.service.scheduler.ShapeBinScheduler.flush_ready`).
+
 Numerical contract: results are bit-for-bit identical to calling each
 engine's ``optimize`` directly and re-measuring masks one at a time —
 engines run unmodified, the scheduler's batched re-simulation is
-batch-size independent by construction, and threading never reorders any
-per-engine computation (each engine instance is driven by exactly one
-thread; the litho caches it shares are value-deterministic).
+batch-size independent by construction, and neither threading nor
+process sharding reorders any per-engine computation (each engine
+instance is driven by exactly one thread, shard workers rebuild their
+engines from a deterministic spec, and the litho caches they share are
+value-deterministic).
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Iterable, Mapping, Sequence
 
@@ -29,27 +40,24 @@ from repro.errors import MetrologyError, ServiceError
 from repro.geometry.layout import Clip
 from repro.litho.simulator import LithoConfig, LithographySimulator
 from repro.service.api import OptRequest, OptResult
-from repro.service.registry import create_engine
+from repro.service.registry import create_engine, engine_epe_search_nm
 from repro.service.scheduler import ShapeBinScheduler
+from repro.service.sharding import EngineSpec, ShardedSuiteRunner
 
 _VERIFY_TOLERANCE_NM = 1e-6
-_DEFAULT_EPE_SEARCH_NM = 40.0
-
-
-def engine_epe_search_nm(engine) -> float:
-    """The contour-search range an engine's own metrology used.
-
-    Engines without the config knob fall back to the shared 40 nm
-    default, mirroring what their environments do internally.
-    """
-    return float(
-        getattr(getattr(engine, "config", None), "epe_search_nm",
-                _DEFAULT_EPE_SEARCH_NM)
-    )
 
 
 class MaskOptService:
-    """Request/response mask optimization over one shared simulator."""
+    """Request/response mask optimization over one shared simulator.
+
+    Thread-safety: *submission* is concurrent-safe — ``submit`` (ticket
+    minting and queueing) may be called from any number of threads.  The
+    *execution* methods (``run_all``, ``map_suite``,
+    ``run_suite_sharded``) drive the one shared verification scheduler
+    and must not overlap each other on the same service instance; give
+    each driving thread its own service (they can share a simulator —
+    its caches are value-deterministic).
+    """
 
     def __init__(
         self,
@@ -69,6 +77,16 @@ class MaskOptService:
         self._pending: list[tuple[int, OptRequest]] = []
         self._engines: dict[tuple, Any] = {}
         self._next_id = 0
+        self._lock = threading.Lock()
+
+    def _allocate_tickets(self, count: int) -> list[int]:
+        """Mint ``count`` consecutive ticket ids (thread-safe: concurrent
+        submitters must never receive the same ticket, which an unlocked
+        read-increment-write on ``_next_id`` allowed)."""
+        with self._lock:
+            first = self._next_id
+            self._next_id += count
+        return list(range(first, first + count))
 
     # -- engine management ---------------------------------------------------
     def engine_for(self, request: OptRequest):
@@ -112,9 +130,9 @@ class MaskOptService:
             raise ServiceError(
                 f"submit() takes an OptRequest, got {type(request).__name__}"
             )
-        ticket = self._next_id
-        self._next_id += 1
-        self._pending.append((ticket, request))
+        (ticket,) = self._allocate_tickets(1)
+        with self._lock:
+            self._pending.append((ticket, request))
         return ticket
 
     @property
@@ -130,8 +148,9 @@ class MaskOptService:
         reported EPE drifts from the independent re-measurement by more
         than ``verify_tolerance_nm`` raises :class:`MetrologyError`.
         """
-        queued = self._pending
-        self._pending = []
+        with self._lock:
+            queued = self._pending
+            self._pending = []
         executed = []
         for ticket, request in queued:
             engine = self.engine_for(request)
@@ -147,19 +166,37 @@ class MaskOptService:
         clips: Iterable[Clip],
         max_workers: int | None = None,
         verify: bool = True,
+        workers: int | None = None,
+        stream_min_bin: int | None = None,
         **optimize_kwargs,
     ) -> dict:
-        """Run several engines over one suite, thread-pooled per engine.
+        """Run several engines over one suite, parallelized two ways.
 
-        ``engines`` maps display labels to engine specs (registry names
-        or instances); a bare sequence of names labels each engine by its
-        name.  Every engine sweeps the full suite in clip order on its
-        own thread — an engine instance is never shared between threads,
-        so per-engine numbers are identical to a sequential sweep — then
-        all outcomes from all engines share **one** verification pass
-        whose scheduler bins by grid shape across the whole suite-cross-
-        engine matrix.  Returns ``{label:
-        :class:`~repro.eval.metrics.SuiteResult`}`` in ``engines`` order.
+        ``engines`` maps display labels to engine specs (registry names,
+        ``(name, overrides)`` pairs, or instances); a bare sequence of
+        names labels each engine by its name.
+
+        With the default ``workers=None`` every engine sweeps the full
+        suite in clip order on its own thread (``max_workers`` threads;
+        an engine instance is never shared between threads, so per-engine
+        numbers are identical to a sequential sweep) and all outcomes
+        from all engines share **one** terminal verification pass whose
+        scheduler bins by grid shape across the whole suite-cross-engine
+        matrix.
+
+        With ``workers=N > 1`` each engine's suite is additionally
+        *process-sharded*: N spawned workers split the clip list, stream
+        outcomes back as they finish, and verification drains full shape
+        bins while optimization is still running
+        (:meth:`run_suite_sharded`; engines then run one after another,
+        each owning the whole worker fleet).  Sharded specs must be
+        buildable in a child process — registry names or ``(name,
+        overrides)`` pairs, not instances.  Sharding reorders work, never
+        numbers: results are bit-for-bit identical to the thread/
+        sequential path.
+
+        Returns ``{label: :class:`~repro.eval.metrics.SuiteResult`}`` in
+        ``engines`` order.
         """
         from repro.eval.metrics import SuiteResult  # avoid eval<->service cycle
 
@@ -173,13 +210,29 @@ class MaskOptService:
         if not clip_list:
             raise ServiceError("map_suite needs at least one clip")
 
+        if workers is not None and workers > 1:
+            suites: dict[str, SuiteResult] = {}
+            for label, spec in specs.items():
+                name, overrides = self._shardable_spec(label, spec)
+                results = self.run_suite_sharded(
+                    name, clip_list, workers=workers,
+                    engine_overrides=overrides, verify=verify,
+                    stream_min_bin=stream_min_bin, **optimize_kwargs,
+                )
+                suite = SuiteResult(engine=label)
+                for result in results:
+                    suite.add(result.to_row())
+                suites[label] = suite
+            return suites
+
         # Resolve (and train) engines up front, in label order, on the
         # calling thread — construction order stays deterministic.
         resolved = {
-            label: self.engine_for(OptRequest(clip=clip_list[0], engine=spec))
+            label: self.engine_for(self._spec_request(spec, clip_list[0]))
             for label, spec in specs.items()
         }
         requests: list[tuple[int, OptRequest, Any]] = []
+        tickets = iter(self._allocate_tickets(len(specs) * len(clip_list)))
         for label in specs:
             for clip in clip_list:
                 request = OptRequest(
@@ -188,9 +241,7 @@ class MaskOptService:
                     optimize_kwargs=dict(optimize_kwargs),
                     verify=verify,
                 )
-                ticket = self._next_id
-                self._next_id += 1
-                requests.append((ticket, request, label))
+                requests.append((next(tickets), request, label))
 
         def sweep(label: str) -> list:
             engine = resolved[label]
@@ -198,16 +249,16 @@ class MaskOptService:
                 engine.optimize(clip, **optimize_kwargs) for clip in clip_list
             ]
 
-        workers = max_workers or min(
+        threads = max_workers or min(
             len(specs), max(os.cpu_count() or 1, 1)
         )
         if len({id(engine) for engine in resolved.values()}) < len(resolved):
             # Two labels resolved to one cached engine object; driving it
             # from two threads would interleave its internal state, so
             # fall back to the sequential sweep (numbers are identical).
-            workers = 1
-        if workers > 1 and len(specs) > 1:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
+            threads = 1
+        if threads > 1 and len(specs) > 1:
+            with ThreadPoolExecutor(max_workers=threads) as pool:
                 outcome_lists = list(pool.map(sweep, specs))
         else:
             outcome_lists = [sweep(label) for label in specs]
@@ -222,13 +273,147 @@ class MaskOptService:
         results = self._finalize(executed, verify)
         for (ticket, request, label), result in zip(requests, results):
             by_label[label].append(result)
-        suites: dict[str, SuiteResult] = {}
+        suites = {}
         for label in specs:
             suite = SuiteResult(engine=label)
             for result in by_label[label]:
                 suite.add(result.to_row())
             suites[label] = suite
         return suites
+
+    @staticmethod
+    def _spec_request(spec, clip: Clip) -> OptRequest:
+        """A resolution request for one map_suite engine spec (name,
+        ``(name, overrides)`` pair, or instance)."""
+        if isinstance(spec, tuple):
+            name, overrides = spec
+            return OptRequest(
+                clip=clip, engine=name, engine_overrides=dict(overrides)
+            )
+        return OptRequest(clip=clip, engine=spec)
+
+    @staticmethod
+    def _shardable_spec(label: str, spec) -> tuple[Any, dict]:
+        """Split a map_suite spec into (buildable engine, overrides) for
+        the sharded path, rejecting instances (which cannot cross a
+        process boundary)."""
+        if isinstance(spec, tuple):
+            name, overrides = spec
+            return name, dict(overrides)
+        if isinstance(spec, str) or callable(spec):
+            return spec, {}
+        raise ServiceError(
+            f"engine {label!r} is an instance; process-sharded map_suite "
+            "(workers>1) rebuilds engines in worker processes, so pass a "
+            "registry name, a (name, overrides) pair, or a factory callable"
+        )
+
+    # -- process-sharded execution ---------------------------------------------
+    def run_suite_sharded(
+        self,
+        engine: Any,
+        clips: Iterable[Clip],
+        workers: int,
+        engine_overrides: Mapping[str, Any] | None = None,
+        verify: bool = True,
+        stream_min_bin: int | None = None,
+        **optimize_kwargs,
+    ) -> list[OptResult]:
+        """Sweep one engine over a suite with N worker processes,
+        verifying full shape bins while workers are still optimizing.
+
+        ``engine`` must be buildable in a child process: a registry name
+        or a picklable factory callable, plus ``engine_overrides`` — each
+        worker rebuilds the engine from that spec against its own
+        simulator (sharing this service's
+        :class:`~repro.litho.simulator.LithoConfig`, including
+        ``spectra_store=``, so all workers warm one on-disk kernel-
+        spectra store).  As outcomes stream back, every one joins the
+        shape-binned scheduler and any bin reaching ``stream_min_bin``
+        masks (default ``max(4, 2 * workers)``) is flushed immediately —
+        verification overlaps optimization instead of serializing after
+        it; a terminal flush drains the remainder.  Results are
+        bit-for-bit identical to the sequential sweep: sharding reorders
+        work, never numbers.  ``workers=1`` runs inline (no processes)
+        through the identical code path.
+
+        Returns one :class:`OptResult` per clip, in clip order; the
+        ``raw_outcome`` of each is the streamed picklable
+        :class:`~repro.service.sharding.OptOutcome`, not the engine's
+        in-process outcome object.
+
+        Note that ``**optimize_kwargs`` shares the signature with the
+        named parameters above (as with ``map_suite``): an engine whose
+        ``optimize`` takes a kwarg literally named ``workers``, ``verify``,
+        ``engine_overrides``, or ``stream_min_bin`` cannot receive it
+        through this method — drive :class:`~repro.service.sharding.
+        ShardedSuiteRunner` directly for that.
+        """
+        clip_list = list(clips)
+        if not clip_list:
+            raise ServiceError("run_suite_sharded needs at least one clip")
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        if stream_min_bin is None:
+            stream_min_bin = max(4, 2 * int(workers))
+        elif stream_min_bin < 1:
+            raise ServiceError(
+                f"stream_min_bin must be >= 1, got {stream_min_bin}"
+            )
+        # EngineSpec validates eagerly: instances (which cannot cross a
+        # process boundary) are rejected here, not at Process.start().
+        spec = EngineSpec(
+            engine=engine,
+            litho=self.simulator.config,
+            overrides=tuple(sorted((engine_overrides or {}).items())),
+        )
+        label = spec.label
+        tickets = self._allocate_tickets(len(clip_list))
+        requests = [
+            OptRequest(
+                clip=clip,
+                engine=label,
+                engine_overrides=dict(engine_overrides or {}),
+                optimize_kwargs=dict(optimize_kwargs),
+                verify=verify,
+            )
+            for clip in clip_list
+        ]
+        measured: dict[int, float] = {}
+
+        def on_outcome(index: int, payload) -> None:
+            if not verify:
+                return
+            added = self.scheduler.add_outcome(
+                tickets[index], clip_list[index], payload, self.simulator,
+                payload.epe_search_nm,
+            )
+            if added:
+                measured.update(
+                    self.scheduler.flush_ready(
+                        self.simulator, min_bin=stream_min_bin
+                    )
+                )
+
+        runner = ShardedSuiteRunner(spec, workers)
+        try:
+            payloads = runner.run(
+                clip_list, optimize_kwargs, on_outcome=on_outcome,
+                capture_masks=verify,
+            )
+        except BaseException:
+            # The sweep died mid-stream: take back whatever this run
+            # queued so a caller that catches the error and reuses the
+            # service doesn't re-simulate stale masks next pass.
+            self.scheduler.discard(tickets)
+            raise
+        if verify:
+            measured.update(self.scheduler.flush(self.simulator))
+        executed = [
+            (ticket, request, payload)
+            for ticket, request, payload in zip(tickets, requests, payloads)
+        ]
+        return self._assemble(executed, measured, verify)
 
     # -- shared tail: verification + result assembly --------------------------
     def _finalize(
@@ -248,9 +433,30 @@ class MaskOptService:
                     ticket, request.clip, outcome, self.simulator, search_nm
                 )
             measured = self.scheduler.flush(self.simulator)
+        return self._assemble(
+            [(ticket, request, outcome)
+             for ticket, request, _, outcome in executed],
+            measured,
+            verify,
+        )
 
+    def _assemble(
+        self,
+        executed: list[tuple[int, OptRequest, Any]],
+        measured: dict[int, float],
+        verify: bool,
+    ) -> list[OptResult]:
+        """Drift-check every measured outcome and build the result
+        records.
+
+        An outcome whose final mask could not be recovered (nothing to
+        re-simulate) is *not* silently passed off as unverified: when
+        verification was requested it comes back with
+        ``outcome="unverifiable"`` so callers that require certification
+        can reject it explicitly.
+        """
         results = []
-        for ticket, request, engine, outcome in executed:
+        for ticket, request, outcome in executed:
             verified = measured.get(ticket)
             reported = float(outcome.epe_total)
             if verified is not None:
@@ -262,6 +468,11 @@ class MaskOptService:
                         f"batched re-simulation measured {verified:.6f} nm "
                         f"(drift {drift:.2e})"
                     )
+                status = "verified"
+            elif verify and request.verify:
+                status = "unverifiable"
+            else:
+                status = "unverified"
             results.append(OptResult(
                 request_id=ticket,
                 clip_name=request.clip.name,
@@ -272,16 +483,20 @@ class MaskOptService:
                 steps=int(outcome.steps),
                 early_exited=bool(outcome.early_exited),
                 verified_epe_nm=verified,
-                outcome=outcome,
+                outcome=status,
+                raw_outcome=outcome,
             ))
         return results
 
     # -- introspection --------------------------------------------------------
     def stats(self) -> dict[str, Any]:
         """Serving counters: verification batching + spectra-store state."""
+        with self._lock:
+            issued = self._next_id
+            queued = len(self._pending)
         info: dict[str, Any] = {
-            "requests_issued": self._next_id,
-            "pending": len(self._pending),
+            "requests_issued": issued,
+            "pending": queued,
             "engines_cached": len(self._engines),
             "verify_batch_calls": self.scheduler.batch_calls,
             "verify_items": self.scheduler.items_flushed,

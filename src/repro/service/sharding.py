@@ -1,0 +1,457 @@
+"""Process-sharded suite execution: per-clip worker processes.
+
+:class:`~repro.service.service.MaskOptService.map_suite` thread-pools
+*across* engines, but one engine's sweep over a benchmark suite is still
+a single-core sequential loop — the litho FFTs release the GIL under the
+scipy backend, yet the surrounding python (policy forwards, geometry,
+metrology) serializes.  :class:`ShardedSuiteRunner` breaks that limit by
+partitioning one engine's clip list across N worker *processes*:
+
+* **Spawn-safe by construction.**  Workers are started with the
+  ``spawn`` method (the only start method that is safe everywhere and
+  identical across platforms), so nothing inherited matters: each worker
+  rebuilds its engine from a picklable :class:`EngineSpec` — litho
+  config + registry name (or factory callable) + overrides + seed —
+  never from a forked copy of live state.
+* **Shared warmup, not shared memory.**  The spec's
+  :class:`~repro.litho.simulator.LithoConfig` carries ``spectra_store=``
+  (the CLI wires ``$REPRO_SPECTRA_STORE`` into it), so all workers read
+  and atomically write one on-disk kernel-spectra store: the first
+  worker to meet a grid shape persists its band spectra and every other
+  worker's build becomes one ``.npz`` read (:mod:`repro.litho.store`).
+* **Streaming results.**  Each finished clip is flattened into a
+  picklable :class:`OptOutcome` (reported numbers + the rasterized final
+  mask) and put on a queue *immediately*, so the parent can verify full
+  shape bins while workers are still optimizing
+  (:meth:`~repro.service.scheduler.ShapeBinScheduler.flush_ready`).
+* **Numbers never change.**  Sharding reorders *work*, not computation:
+  each ``optimize(clip)`` runs against a freshly built engine/simulator
+  pair that is bit-for-bit deterministic from the spec, and the mask is
+  rasterized on the same per-clip grid the parent would use.  A sharded
+  sweep is pinned identical to the sequential one in
+  ``tests/test_service_sharding.py``.  (This requires engines whose
+  ``optimize`` is per-clip deterministic and stateless across calls —
+  true of every registry engine.)
+* **Crashes fail loudly.**  A worker that dies mid-suite (OOM kill,
+  segfault, ``os._exit``) is detected by the parent's liveness poll and
+  surfaces as a :class:`~repro.errors.ServiceError` naming the clip that
+  was in flight; the queue can never hang and sibling workers are torn
+  down.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.geometry.layout import Clip
+from repro.litho.simulator import LithoConfig, LithographySimulator
+from repro.service.registry import (
+    build_engine,
+    engine_epe_search_nm,
+    spec_label,
+)
+from repro.service.scheduler import final_mask_image
+
+DEFAULT_START_METHOD = "spawn"
+
+_POLL_INTERVAL_S = 0.05
+_CRASH_GRACE_S = 1.0
+"""A dead worker's last messages may still be in the pipe; wait this
+long after observing its exit before declaring the queue dry and the
+worker crashed."""
+
+
+@dataclass(frozen=True)
+class OptOutcome:
+    """Engine-agnostic, picklable outcome of one ``optimize(clip)`` call.
+
+    This is the payload shard workers stream back over the result queue:
+    the engine's reported numbers, the contour search range its own
+    metrology used (so the parent can bin verification without the
+    engine object), and the final mask rasterized on the clip's grid
+    (``final_mask_image`` recovers it, exactly as it would from the raw
+    outcome).  It quacks like the raw outcome everywhere the service
+    needs one — ``epe_total``, ``pvband``, ``runtime_s``, ``steps``,
+    ``early_exited``, ``mask_image``.
+    """
+
+    clip_name: str
+    epe_total: float
+    pvband: float
+    runtime_s: float
+    steps: int
+    early_exited: bool
+    epe_search_nm: float
+    mask_image: np.ndarray | None = field(repr=False, default=None)
+    epe_curve: tuple[float, ...] = ()
+    worker: int = 0
+
+    @classmethod
+    def from_raw(
+        cls, raw, clip: Clip, simulator: LithographySimulator,
+        epe_search_nm: float, worker: int = 0, capture_mask: bool = True,
+    ) -> "OptOutcome":
+        """Flatten any engine's outcome object for the wire.
+
+        ``capture_mask=False`` skips the rasterization and ships no mask
+        — the right call when the parent runs with verification off and
+        would only discard the (multi-MB at large grids) array.
+        """
+        return cls(
+            clip_name=clip.name,
+            epe_total=float(raw.epe_total),
+            pvband=float(raw.pvband),
+            runtime_s=float(raw.runtime_s),
+            steps=int(raw.steps),
+            early_exited=bool(raw.early_exited),
+            epe_search_nm=float(epe_search_nm),
+            mask_image=(
+                final_mask_image(raw, simulator.grid_for(clip))
+                if capture_mask else None
+            ),
+            epe_curve=tuple(
+                float(v) for v in getattr(raw, "epe_curve", ()) or ()
+            ),
+            worker=worker,
+        )
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Everything a worker needs to rebuild its engine, picklably.
+
+    ``engine`` is a registry name or a factory callable
+    ``(simulator, overrides) -> engine`` (picklable by qualified name —
+    a module-level function, not a lambda or a bound method); engine
+    *instances* are rejected here, eagerly, instead of dying later
+    inside ``Process.start`` with an opaque pickling error.  ``seed``,
+    when set, seeds numpy's global RNG before the build+sweep, exactly
+    once per worker — in each spawned worker, and on the inline
+    ``workers=1`` path under a save/restore so the caller's process-wide
+    RNG state is left untouched.  (Engines that draw from the global RNG
+    *during* ``optimize`` still see different streams at different
+    worker counts — per-clip determinism, which all registry engines
+    have via config-seeded private RNGs, is what the bit-for-bit
+    contract rests on.)
+    """
+
+    engine: str | Callable
+    litho: LithoConfig
+    overrides: tuple[tuple[str, Any], ...] = ()
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.engine, str) and not callable(self.engine):
+            raise ServiceError(
+                "EngineSpec.engine must be a registry name or a factory "
+                f"callable, got a {type(self.engine).__name__} instance; "
+                "engines cannot cross a process boundary — pass the spec "
+                "that builds them"
+            )
+        if not isinstance(self.litho, LithoConfig):
+            raise ServiceError(
+                f"EngineSpec.litho must be a LithoConfig, got "
+                f"{type(self.litho).__name__}"
+            )
+
+    @property
+    def label(self) -> str:
+        return spec_label(self.engine)
+
+    def build(self) -> tuple[Any, LithographySimulator]:
+        """Construct the (engine, simulator) pair this spec describes
+        (pure: seeding, when requested, is applied by the worker entry
+        point, not here)."""
+        simulator = LithographySimulator(self.litho)
+        return build_engine(self.engine, simulator, dict(self.overrides)), \
+            simulator
+
+
+def _describe_error(exc: BaseException) -> str:
+    return "".join(
+        traceback.format_exception_only(type(exc), exc)
+    ).strip()
+
+
+def _shard_worker(
+    worker_id: int,
+    spec: EngineSpec,
+    assignment: list[tuple[int, Clip]],
+    optimize_kwargs: dict,
+    capture_masks: bool,
+    out_queue,
+) -> None:
+    """Worker entry point: build the engine, stream one OptOutcome per
+    assigned clip, then announce a clean exit.
+
+    Runs in a spawned child process; every message is a 4-tuple
+    ``(kind, worker_id, clip_index, payload)`` with kind one of
+    ``"ok"`` / ``"error"`` / ``"fatal"`` / ``"exit"``.
+    """
+    try:
+        if spec.seed is not None:
+            np.random.seed(spec.seed)
+        engine, simulator = spec.build()
+        search_nm = engine_epe_search_nm(engine)
+    except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
+        out_queue.put(("fatal", worker_id, None, _describe_error(exc)))
+        return
+    for index, clip in assignment:
+        try:
+            raw = engine.optimize(clip, **optimize_kwargs)
+            payload = OptOutcome.from_raw(
+                raw, clip, simulator, search_nm, worker=worker_id,
+                capture_mask=capture_masks,
+            )
+        except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
+            out_queue.put(("error", worker_id, index, _describe_error(exc)))
+            return
+        out_queue.put(("ok", worker_id, index, payload))
+    out_queue.put(("exit", worker_id, None, None))
+
+
+class ShardedSuiteRunner:
+    """Partition one engine's clip sweep across N worker processes.
+
+    Clips are dealt round-robin (worker ``w`` takes ``clips[w::N]``) so
+    clip order within each worker matches suite order and load stays
+    even for homogeneous suites.  :meth:`run` streams every finished
+    clip through the ``on_outcome`` callback as it arrives (arrival
+    order is nondeterministic) and returns the full outcome list in
+    suite order (which is not).
+    """
+
+    def __init__(
+        self,
+        spec: EngineSpec,
+        workers: int,
+        start_method: str = DEFAULT_START_METHOD,
+    ) -> None:
+        if not isinstance(spec, EngineSpec):
+            raise ServiceError(
+                f"ShardedSuiteRunner needs an EngineSpec, got "
+                f"{type(spec).__name__}"
+            )
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        self.spec = spec
+        self.workers = int(workers)
+        self.start_method = start_method
+
+    # -- in-process fallback -------------------------------------------------
+    def _run_inline(
+        self,
+        clips: list[Clip],
+        optimize_kwargs: dict,
+        on_outcome,
+        capture_masks: bool,
+    ) -> list[OptOutcome]:
+        """workers=1: same spec-built engine and payloads, no processes
+        (also the zero-overhead baseline the shard benchmark times).
+        ``spec.seed`` is honored exactly as a single spawned worker
+        would honor it, but under save/restore — reseeding numpy's
+        global RNG in the caller's process as a lasting side effect
+        would corrupt unrelated code."""
+        saved_rng_state = None
+        if self.spec.seed is not None:
+            saved_rng_state = np.random.get_state()
+            np.random.seed(self.spec.seed)
+        try:
+            engine, simulator = self.spec.build()
+            search_nm = engine_epe_search_nm(engine)
+            outcomes = []
+            for index, clip in enumerate(clips):
+                payload = OptOutcome.from_raw(
+                    engine.optimize(clip, **optimize_kwargs),
+                    clip, simulator, search_nm, worker=0,
+                    capture_mask=capture_masks,
+                )
+                outcomes.append(payload)
+                if on_outcome is not None:
+                    on_outcome(index, payload)
+            return outcomes
+        finally:
+            if saved_rng_state is not None:
+                np.random.set_state(saved_rng_state)
+
+    # -- the sharded path ----------------------------------------------------
+    def run(
+        self,
+        clips: Sequence[Clip],
+        optimize_kwargs: dict | None = None,
+        on_outcome: Callable[[int, OptOutcome], None] | None = None,
+        capture_masks: bool = True,
+    ) -> list[OptOutcome]:
+        """Sweep ``clips``; returns outcomes in clip order.
+
+        ``on_outcome(index, outcome)`` fires in the parent as each clip
+        finishes — this is where the service hooks streaming
+        verification.  ``capture_masks=False`` tells workers not to
+        rasterize/ship final masks (for verification-free sweeps the
+        parent would discard them).  Raises :class:`ServiceError` if any
+        worker raises or dies; sibling workers are terminated before the
+        raise, so the caller never inherits a half-alive fleet.
+        """
+        clip_list = list(clips)
+        if not clip_list:
+            raise ServiceError("sharded run needs at least one clip")
+        kwargs = dict(optimize_kwargs or {})
+        workers = min(self.workers, len(clip_list))
+        if workers == 1:
+            return self._run_inline(
+                clip_list, kwargs, on_outcome, capture_masks
+            )
+
+        assignments = [
+            list(enumerate(clip_list))[w::workers] for w in range(workers)
+        ]
+        ctx = mp.get_context(self.start_method)
+        out_queue = ctx.Queue()
+
+        # All pipe reads happen on a daemon relay thread, never on this
+        # thread.  A mask payload spans many pipe writes, so a worker
+        # SIGKILLed mid-write leaves a torn frame that would block a
+        # direct `out_queue.get()` *after* its timeout-bearing poll said
+        # data was ready — an unbounded hang.  With the relay, only the
+        # drainer can get stuck on a torn frame; this thread polls the
+        # in-process queue with real timeouts and still reaches the
+        # liveness check, so the sweep fails with ServiceError instead
+        # of hanging (the stuck daemon thread is abandoned at exit).
+        relay: queue_mod.Queue = queue_mod.Queue()
+        stop_draining = threading.Event()
+
+        def drain() -> None:
+            while not stop_draining.is_set():
+                try:
+                    message = out_queue.get(timeout=_POLL_INTERVAL_S)
+                except queue_mod.Empty:
+                    continue
+                except BaseException as exc:  # noqa: BLE001 - relayed
+                    # Closed queue on shutdown, or a misframed payload
+                    # from a killed writer failing to unpickle.
+                    if not stop_draining.is_set():
+                        relay.put(("corrupt", None, None,
+                                   _describe_error(exc)))
+                    return
+                relay.put(message)
+
+        drainer = threading.Thread(
+            target=drain, daemon=True, name="repro-shard-drain"
+        )
+        procs = [
+            ctx.Process(
+                target=_shard_worker,
+                args=(w, self.spec, assignments[w], kwargs, capture_masks,
+                      out_queue),
+                daemon=True,
+                name=f"repro-shard-{w}",
+            )
+            for w in range(workers)
+        ]
+        outcomes: list[OptOutcome | None] = [None] * len(clip_list)
+        received: list[set[int]] = [set() for _ in range(workers)]
+        exited: set[int] = set()
+        dead_since: dict[int, float] = {}
+        try:
+            for proc in procs:
+                proc.start()
+            drainer.start()
+            pending = len(clip_list)
+            while pending > 0 or len(exited) < workers:
+                try:
+                    kind, wid, index, payload = relay.get(
+                        timeout=_POLL_INTERVAL_S
+                    )
+                except queue_mod.Empty:
+                    self._check_liveness(
+                        procs, assignments, received, exited, dead_since
+                    )
+                    continue
+                if kind == "ok":
+                    outcomes[index] = payload
+                    received[wid].add(index)
+                    pending -= 1
+                    if on_outcome is not None:
+                        on_outcome(index, payload)
+                elif kind == "error":
+                    clip = clip_list[index]
+                    raise ServiceError(
+                        f"shard worker {wid} failed optimizing clip "
+                        f"{clip.name!r} ({self.spec.label}): {payload}"
+                    )
+                elif kind == "fatal":
+                    raise ServiceError(
+                        f"shard worker {wid} could not build engine "
+                        f"{self.spec.label!r}: {payload}"
+                    )
+                elif kind == "exit":
+                    exited.add(wid)
+                elif kind == "corrupt":
+                    raise ServiceError(
+                        f"shard result stream corrupted "
+                        f"({self.spec.label}): {payload}"
+                    )
+                else:  # pragma: no cover - protocol bug guard
+                    raise ServiceError(
+                        f"unknown shard message kind {kind!r}"
+                    )
+        finally:
+            stop_draining.set()
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in procs:
+                proc.join(timeout=5.0)
+            out_queue.close()
+        assert all(outcome is not None for outcome in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+    def _check_liveness(
+        self,
+        procs: list,
+        assignments: list[list[tuple[int, Clip]]],
+        received: list[set[int]],
+        exited: set[int],
+        dead_since: dict[int, float],
+    ) -> None:
+        """Raise for any worker that died without a clean ``exit``.
+
+        The queue just came up empty; if a non-exited worker's process
+        has an exitcode, its pipe may still hold in-flight messages, so
+        the crash is only declared after a grace window with the queue
+        still dry (messages received meanwhile reset nothing — the main
+        loop consumes them and comes back here only on another dry
+        poll).
+        """
+        now = time.monotonic()
+        for wid, proc in enumerate(procs):
+            if wid in exited or proc.exitcode is None:
+                continue
+            first_seen = dead_since.setdefault(wid, now)
+            if now - first_seen < _CRASH_GRACE_S:
+                continue
+            in_flight = next(
+                (
+                    clip for index, clip in assignments[wid]
+                    if index not in received[wid]
+                ),
+                None,
+            )
+            where = (
+                f"while optimizing clip {in_flight.name!r}"
+                if in_flight is not None
+                else "after finishing its clips but before its exit message"
+            )
+            raise ServiceError(
+                f"shard worker {wid} ({self.spec.label}) died with exit "
+                f"code {proc.exitcode} {where}; sweep aborted"
+            )

@@ -142,6 +142,55 @@ class TestStoreRobustness:
         assert a is b
         assert a == KernelSpectraStore(str(tmp_path))
 
+    def test_singleton_survives_root_respellings(self, tmp_path):
+        """A symlinked root, a trailing slash, and a ~-prefixed path are
+        the same directory and must share one store instance — two
+        instances over one directory would diverge on stats and race
+        each other's views (the regression: keying on abspath only)."""
+        real = tmp_path / "store"
+        real.mkdir()
+        link = tmp_path / "alias"
+        link.symlink_to(real, target_is_directory=True)
+
+        direct = open_store(str(real))
+        assert open_store(str(link)) is direct
+        assert open_store(str(real) + "/") is direct
+        assert open_store(str(real) + "/./") is direct
+        # One shared stats view, whichever spelling wrote the entry.
+        spectra = fresh_set().band_spectra(SHAPE)
+        open_store(str(link)).save(
+            optics_fingerprint(fresh_set()), spectra
+        )
+        assert direct.stats()["writes"] == 1
+
+    def test_singleton_expands_user_home(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("HOME", str(tmp_path))
+        tilde = open_store("~/spectra-store")
+        plain = open_store(str(tmp_path / "spectra-store"))
+        assert tilde is plain
+
+    def test_orphan_tmp_files_swept_and_uncounted(self, tmp_path):
+        """Temp files from killed writers must not count as entries and
+        must be reclaimed by the next open of their root."""
+        import os as os_mod
+        import time as time_mod
+
+        root = tmp_path / "orphaned"
+        root.mkdir()
+        orphan = root / ".tmp-spectra-deadbeef.npz"
+        orphan.write_bytes(b"torn half-write")
+        old = time_mod.time() - 7200.0
+        os_mod.utime(orphan, (old, old))
+        fresh_orphan = root / ".tmp-spectra-cafe.npz"
+        fresh_orphan.write_bytes(b"in-flight write")
+
+        store = open_store(str(root))
+        assert store.entry_count() == 0  # neither tmp file is an entry
+        assert not orphan.exists()  # stale orphan swept on open
+        assert fresh_orphan.exists()  # in-flight write left alone
+        assert store.sweep_orphans(max_age_s=0.0) == 1
+        assert not fresh_orphan.exists()
+
 
 class TestStoreWarmup:
     def test_warm_store_beats_cold_build(self, tmp_path):

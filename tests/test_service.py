@@ -276,6 +276,107 @@ class TestMapSuite:
         with pytest.raises(ServiceError, match="at least one clip"):
             service.map_suite(["mbopc"], [])
 
+    def test_name_overrides_pairs_accepted(self, sim, mixed_suite):
+        """(name, overrides) specs work on the threaded path too, and
+        match an identically-configured instance bit-for-bit."""
+        expected = MaskOptService(simulator=sim).map_suite(
+            {"MB": MBOPC(MBOPCConfig(max_updates=3, initial_bias_nm=3.0), sim)},
+            mixed_suite[:2],
+        )
+        suites = MaskOptService(simulator=sim).map_suite(
+            {"MB": ("mbopc", {"max_updates": 3, "initial_bias_nm": 3.0})},
+            mixed_suite[:2],
+        )
+        for row, ref in zip(suites["MB"].rows, expected["MB"].rows):
+            assert row.epe_nm == ref.epe_nm
+            assert row.pvband_nm2 == ref.pvband_nm2
+
+
+class TestUnverifiableOutcomes:
+    class MaskFreeEngine:
+        """Reports numbers but exposes neither final_state nor
+        mask_image — nothing to re-simulate."""
+
+        name = "maskfree"
+
+        def optimize(self, clip, **kwargs):
+            class Opaque:
+                epe_total = 2.0
+                pvband = 5.0
+                runtime_s = 0.01
+                steps = 1
+                early_exited = False
+
+            return Opaque()
+
+    def test_unrecoverable_mask_is_explicit_not_silent(self, sim, mixed_suite):
+        """final_mask_image -> None must surface as outcome="unverifiable",
+        not crash and not masquerade as a clean unverified result."""
+        service = MaskOptService(simulator=sim)
+        service.submit(OptRequest(clip=mixed_suite[0], engine=self.MaskFreeEngine()))
+        (result,) = service.run_all()
+        assert result.outcome == "unverifiable"
+        assert result.verified_epe_nm is None
+        assert result.epe_nm == 2.0
+        assert result.to_dict()["outcome"] == "unverifiable"
+
+    def test_opted_out_is_unverified_not_unverifiable(self, sim, mixed_suite):
+        service = MaskOptService(simulator=sim)
+        service.submit(OptRequest(
+            clip=mixed_suite[0], engine=self.MaskFreeEngine(), verify=False,
+        ))
+        (result,) = service.run_all()
+        assert result.outcome == "unverified"
+
+    def test_verified_results_say_so(self, sim, mixed_suite):
+        service = MaskOptService(simulator=sim)
+        service.submit(OptRequest(clip=mixed_suite[0], engine=make_engine(sim)))
+        (result,) = service.run_all()
+        assert result.outcome == "verified"
+        assert result.verified_epe_nm is not None
+
+    def test_bad_outcome_status_rejected(self):
+        from repro.service.api import OptResult
+
+        with pytest.raises(ServiceError, match="outcome"):
+            OptResult(
+                request_id=0, clip_name="c", engine="e", epe_nm=0.0,
+                pvband_nm2=0.0, runtime_s=0.0, steps=0, early_exited=False,
+                outcome="sideways",
+            )
+
+
+class TestTicketAllocation:
+    def test_concurrent_submitters_never_share_a_ticket(self, sim, mixed_suite):
+        """_next_id is read-modify-write; without the service lock two
+        threads could mint the same ticket."""
+        import threading
+
+        service = MaskOptService(simulator=sim)
+        tickets: list[int] = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def submitter():
+            barrier.wait()
+            mine = [
+                service.submit(OptRequest(
+                    clip=mixed_suite[0], engine="mbopc", verify=False,
+                ))
+                for _ in range(50)
+            ]
+            with lock:
+                tickets.extend(mine)
+
+        threads = [threading.Thread(target=submitter) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(tickets) == 8 * 50
+        assert len(set(tickets)) == 8 * 50
+        assert service.stats()["requests_issued"] == 8 * 50
+
 
 class TestServiceConstruction:
     def test_simulator_xor_config(self, sim):
@@ -314,6 +415,80 @@ class TestRunnerStillBitForBit:
             assert row.epe_nm == outcome.epe_total
             assert row.pvband_nm2 == outcome.pvband
 
+    def test_sharded_runner_path_matches(self, sim, mixed_suite):
+        """run_engine_on_suite(workers=2) shards through the service and
+        still returns the sequential rows bit-for-bit."""
+        from repro.eval.runner import run_engine_on_suite
+
+        overrides = {"max_updates": 3, "initial_bias_nm": 3.0}
+        expected = [make_engine(sim).optimize(clip) for clip in mixed_suite]
+        suite = run_engine_on_suite(
+            "mbopc", mixed_suite, "MB-OPC", verify_simulator=sim,
+            workers=2, engine_overrides=overrides,
+        )
+        for row, outcome in zip(suite.rows, expected):
+            assert row.epe_nm == outcome.epe_total
+            assert row.pvband_nm2 == outcome.pvband
+
+    def test_sharded_runner_requires_simulator(self, mixed_suite):
+        from repro.eval.runner import run_engine_on_suite
+
+        with pytest.raises(ServiceError, match="verify_simulator"):
+            run_engine_on_suite("mbopc", mixed_suite, "MB-OPC", workers=2)
+
+
+class TestOverrideParser:
+    """Direct unit tests for the CLI's key=value coercion."""
+
+    def parse(self, text):
+        from repro.__main__ import _parse_override
+
+        return _parse_override(text)
+
+    def test_plain_json_scalars(self):
+        assert self.parse("max_updates=5") == ("max_updates", 5)
+        assert self.parse("gain=0.25") == ("gain", 0.25)
+        assert self.parse("early_exit=true") == ("early_exit", True)
+        assert self.parse("mode=per_target") == ("mode", "per_target")
+
+    def test_bool_capitalization_variants(self):
+        for raw in ("True", "TRUE", "tRuE"):
+            assert self.parse(f"flag={raw}") == ("flag", True)
+        for raw in ("False", "FALSE", "falsE"):
+            assert self.parse(f"flag={raw}") == ("flag", False)
+
+    def test_none_variants(self):
+        assert self.parse("knob=null") == ("knob", None)
+        assert self.parse("knob=None") == ("knob", None)
+        assert self.parse("knob=NONE") == ("knob", None)
+
+    def test_scientific_notation(self):
+        assert self.parse("temp=1e-3") == ("temp", 1e-3)
+        assert self.parse("temp=1E6") == ("temp", 1e6)
+        assert self.parse("temp=.5") == ("temp", 0.5)
+        assert self.parse("temp=+2.5") == ("temp", 2.5)
+        assert self.parse("count=+3") == ("count", 3)
+
+    def test_quoted_strings_stay_strings(self):
+        assert self.parse('tag="1e-3"') == ("tag", "1e-3")
+        assert self.parse("tag='true'") == ("tag", "true")
+        assert self.parse('name="per_target"') == ("name", "per_target")
+        assert self.parse('empty=""') == ("empty", "")
+
+    def test_values_may_contain_equals(self):
+        assert self.parse("expr=a=b") == ("expr", "a=b")
+
+    def test_whitespace_tolerated(self):
+        assert self.parse(" gain = 0.5 ") == ("gain", 0.5)
+
+    def test_rejects_malformed(self):
+        import argparse as argparse_mod
+
+        with pytest.raises(argparse_mod.ArgumentTypeError, match="key=value"):
+            self.parse("no-equals-here")
+        with pytest.raises(argparse_mod.ArgumentTypeError, match="empty key"):
+            self.parse("=5")
+
 
 class TestCLI:
     def test_optimize_tiny_json(self, tmp_path, capsys):
@@ -338,6 +513,40 @@ class TestCLI:
         assert row["verified_epe_nm"] == row["epe_nm"]
         assert payload["service_stats"]["verify_batch_calls"] == 1
         assert payload["service_stats"]["spectra_store"]["writes"] >= 1
+
+    def test_optimize_sharded_workers(self, tmp_path, capsys):
+        """--workers 2 process-shards the sweep against a shared spectra
+        store and reports the same schema (plus the workers count)."""
+        from repro.__main__ import main
+
+        out = tmp_path / "sharded.json"
+        store = tmp_path / "spectra"
+        code = main([
+            "optimize", "--suite", "tiny", "--count", "2",
+            "--engine", "mbopc", "--pixel-nm", "8", "--max-kernels", "4",
+            "--opt", "max_updates=2", "--workers", "2",
+            "--json", str(out), "--store", str(store),
+        ])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "workers=2" in captured
+        payload = json.loads(out.read_text())
+        assert payload["workers"] == 2
+        assert len(payload["results"]) == 2
+        assert all(
+            row["outcome"] == "verified" for row in payload["results"]
+        )
+        assert store.is_dir()
+
+    def test_optimize_rejects_bad_workers(self, capsys):
+        from repro.__main__ import main
+
+        code = main([
+            "optimize", "--suite", "tiny", "--engine", "mbopc",
+            "--pixel-nm", "8", "--max-kernels", "4", "--workers", "0",
+        ])
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
 
     def test_bench_info(self, capsys):
         from repro.__main__ import main
