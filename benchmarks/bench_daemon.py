@@ -1,0 +1,223 @@
+"""Benchmark gate: work-stealing dispatch vs static round-robin.
+
+Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_daemon.py          # full
+    PYTHONPATH=src python benchmarks/bench_daemon.py --smoke  # CI
+
+Two sweeps of the same **deliberately skewed** suite through
+:class:`repro.service.MaskOptDaemon` (the always-on serving front door
+behind ``python -m repro serve``):
+
+* ``static`` — PR 5's round-robin deal: request ``i`` is pinned to
+  worker ``i % N`` at submit time.  The suite alternates expensive and
+  cheap clips, so with 2 workers one worker owns *every* expensive clip
+  and the other idles — the pathological case static placement cannot
+  avoid;
+* ``steal``  — the daemon's default: all workers pull from one shared
+  task queue, so the idle worker steals the expensive tail
+  automatically.
+
+Results are asserted bit-for-bit identical across the two dispatch
+modes before any number is reported — dispatch moves work between
+workers, never numbers (each ``optimize(clip)`` is deterministic from
+the spec, and verification measurements are batch-composition
+independent).  The gate (work-stealing at least at parity with static,
+i.e. speedup >= 1.0x) is enforced only on hosts with >= 4 cores; on
+smaller hosts the run still checks parity and records timings, because
+a 1-core container timeslices both modes identically no matter how
+skewed the suite is.  A machine-readable record of every run is written
+to ``BENCH_daemon.json`` (override with ``--json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import sys
+import tempfile
+import time
+
+from bench_common import write_json
+
+from repro.data.via_bench import generate_via_clip
+from repro.litho.simulator import LithoConfig
+from repro.service import MaskOptDaemon, MaskOptService, OptRequest
+
+WORKERS = 2
+SPEEDUP_THRESHOLD = 1.0
+MIN_GATE_CORES = 4
+DEFAULT_JSON_PATH = "BENCH_daemon.json"
+
+ENGINE = "mbopc"
+ENGINE_OVERRIDES = {"initial_bias_nm": 3.0, "early_exit_threshold": 0.0}
+# The skew: alternating clips run 8 updates vs 1, so a round-robin deal
+# with 2 workers lands every expensive clip on the same worker.
+EXPENSIVE_KWARGS = {"max_updates": 8}
+CHEAP_KWARGS = {"max_updates": 1}
+
+
+def build_suite(count: int) -> list:
+    """``count`` distinct 1024 nm via clips (all one grid shape, so the
+    only heterogeneity is the per-request update budget)."""
+    return [
+        generate_via_clip(f"bench{i}", n_vias=2, seed=300 + i,
+                          clip_nm=1024.0)
+        for i in range(count)
+    ]
+
+
+def kwargs_for(index: int) -> dict:
+    return dict(EXPENSIVE_KWARGS if index % 2 == 0 else CHEAP_KWARGS)
+
+
+async def sweep(dispatch: str, clips, config, workers: int) -> list:
+    """One timed pass: submit the whole suite, await every result."""
+    daemon = MaskOptDaemon(
+        litho_config=config, workers=workers, dispatch=dispatch,
+        max_pending=len(clips) + 1,
+    )
+    async with daemon:
+        tickets = [
+            await daemon.submit(OptRequest(
+                clip=clip, engine=ENGINE,
+                engine_overrides=ENGINE_OVERRIDES,
+                optimize_kwargs=kwargs_for(i),
+            ))
+            for i, clip in enumerate(clips)
+        ]
+        return [await daemon.result(ticket) for ticket in tickets]
+
+
+def assert_identical(steal, static) -> None:
+    for got, ref in zip(steal, static):
+        if (
+            got.clip_name != ref.clip_name
+            or got.epe_nm != ref.epe_nm
+            or got.pvband_nm2 != ref.pvband_nm2
+            or got.verified_epe_nm != ref.verified_epe_nm
+            or got.steps != ref.steps
+        ):
+            raise AssertionError(
+                f"dispatch modes diverge on {ref.clip_name}: "
+                f"epe {got.epe_nm!r} vs {ref.epe_nm!r}, "
+                f"verified {got.verified_epe_nm!r} vs {ref.verified_epe_nm!r}"
+            )
+
+
+def run(
+    smoke: bool,
+    workers: int = WORKERS,
+    min_speedup: float = SPEEDUP_THRESHOLD,
+    json_path: str = DEFAULT_JSON_PATH,
+    store_dir: str | None = None,
+) -> int:
+    count = 8 if smoke else 16
+    clips = build_suite(count)
+
+    with tempfile.TemporaryDirectory(prefix="bench-spectra-") as tmp:
+        root = store_dir or tmp
+        config = LithoConfig(pixel_nm=8.0, max_kernels=6,
+                             spectra_store=root)
+
+        # Warm the shared store so no daemon worker pays the TCC build
+        # inside a timed sweep.
+        warm = MaskOptService(litho_config=config)
+        warm.run_suite_sharded(
+            ENGINE, clips[:1], workers=1,
+            engine_overrides=ENGINE_OVERRIDES,
+        )
+        store = warm.simulator.spectra_store()
+        entries = store.entry_count() if store is not None else 0
+
+        cores = os.cpu_count() or 1
+        print(f"bench_daemon: {count} via clips (alternating "
+              f"{EXPENSIVE_KWARGS['max_updates']}-update / "
+              f"{CHEAP_KWARGS['max_updates']}-update skew), "
+              f"engine={ENGINE}, workers={workers}, {cores} cores, "
+              f"warm store ({entries} entries) at {root}")
+
+        t0 = time.perf_counter()
+        static = asyncio.run(sweep("static", clips, config, workers))
+        t_static = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        steal = asyncio.run(sweep("steal", clips, config, workers))
+        t_steal = time.perf_counter() - t0
+
+        # -- correctness before speed --------------------------------------
+        assert_identical(steal, static)
+        if not all(r.outcome == "verified" for r in steal):
+            print("FAIL: daemon sweep left results unverified")
+            return 1
+
+        speedup = t_static / t_steal
+        gated = cores >= MIN_GATE_CORES and workers >= 2
+        passed = speedup >= min_speedup or not gated
+
+        print(f"  static round-robin (workers={workers}) : "
+              f"{t_static:8.2f} s  [baseline]")
+        print(f"  work-stealing      (workers={workers}) : "
+              f"{t_steal:8.2f} s -> {speedup:4.2f}x  "
+              f"(bit-for-bit identical)")
+
+        write_json(json_path, {
+            "bench": "daemon",
+            "smoke": smoke,
+            "clips": count,
+            "engine": ENGINE,
+            "engine_overrides": ENGINE_OVERRIDES,
+            "expensive_kwargs": EXPENSIVE_KWARGS,
+            "cheap_kwargs": CHEAP_KWARGS,
+            "workers": workers,
+            "cpu_cores": cores,
+            "spectra_store_entries": entries,
+            "t_static_s": t_static,
+            "t_steal_s": t_steal,
+            "speedup": speedup,
+            "min_speedup": min_speedup,
+            "gate_enforced": gated,
+            "passed": passed,
+        })
+
+        if not gated:
+            print(f"PASS (gate not enforced: needs >= {MIN_GATE_CORES} "
+                  f"cores and >= 2 workers; host has {cores} cores) — "
+                  f"parity verified, speedup {speedup:.2f}x recorded")
+            return 0
+        if not passed:
+            print(f"FAIL: work-stealing speedup {speedup:.2f}x < "
+                  f"{min_speedup}x vs static round-robin on a skewed "
+                  f"suite at {workers} workers")
+            return 1
+        print(f"PASS: work-stealing reaches {speedup:.2f}x >= "
+              f"{min_speedup}x vs static round-robin on a skewed suite")
+        return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller suite for CI (seconds, not minutes)")
+    parser.add_argument("--workers", type=int, default=WORKERS,
+                        help=f"daemon pool width (default {WORKERS})")
+    parser.add_argument("--min-speedup", type=float,
+                        default=SPEEDUP_THRESHOLD,
+                        help="fail below this steal-vs-static speedup "
+                             f"(enforced on >= {MIN_GATE_CORES}-core "
+                             "hosts)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="reuse a spectra store directory instead of "
+                             "a throwaway tempdir")
+    parser.add_argument("--json", default=DEFAULT_JSON_PATH, metavar="PATH",
+                        help="machine-readable result file ('' disables; "
+                             f"default {DEFAULT_JSON_PATH})")
+    args = parser.parse_args()
+    return run(smoke=args.smoke, workers=args.workers,
+               min_speedup=args.min_speedup, json_path=args.json,
+               store_dir=args.store)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

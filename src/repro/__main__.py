@@ -1,9 +1,12 @@
 """``python -m repro`` — the command-line front door.
 
-Three subcommands, all built on :class:`repro.service.MaskOptService`:
+Four subcommands, all built on :class:`repro.service.MaskOptService`:
 
 * ``optimize``  — run one engine over a clip suite (generated tiny /
   via / metal benches), print the rows, optionally dump JSON.
+* ``serve``     — run the suite through the always-on async daemon
+  (:class:`repro.service.MaskOptDaemon`): persistent warm worker pools,
+  work-stealing dispatch, admission control, streaming verification.
 * ``table``     — regenerate the paper's Table 1 / Table 2 through the
   service-routed experiment drivers.
 * ``bench-info``— show the serving environment: version, FFT backend,
@@ -16,6 +19,8 @@ Examples::
         --opt policy_temperature=1e6 --json results.json
     python -m repro optimize --suite via --engine mbopc --workers 4 \
         --store /tmp/spectra
+    python -m repro serve --suite via --count 4 --engine mbopc \
+        --workers 2 --stats-json serve_stats.json
     python -m repro table --which 1 --scale smoke
     python -m repro bench-info
 
@@ -94,10 +99,28 @@ def _parse_override(text: str) -> tuple[str, Any]:
 
 
 def _build_clips(args) -> list:
+    """Clip list for ``--suite`` / ``--count`` / ``--names``.
+
+    ``--count 0`` (the default) means "the suite's own size" (one clip
+    for the generated tiny suite); a positive count truncates — and, for
+    tiny, *generates* — that many clips.  ``--names`` selects from the
+    fixed via/metal benches and is an error with ``--suite tiny``
+    (whose clips are generated on demand, so there is nothing to select
+    from — silently ignoring the flag ran the wrong clips).  Name
+    filtering applies before ``--count`` truncation.
+    """
     from repro.data.metal_bench import metal_test_suite
     from repro.data.via_bench import generate_via_clip, via_test_suite
 
+    if args.count < 0:
+        raise ReproError(f"--count must be >= 0, got {args.count}")
     if args.suite == "tiny":
+        if args.names:
+            raise ReproError(
+                "--names selects clips from the fixed via/metal suites; "
+                "the tiny suite is generated on demand (use --count to "
+                "size it)"
+            )
         return [
             generate_via_clip(
                 f"tiny{i + 1}", n_vias=2, seed=7 + i, clip_nm=1024.0
@@ -209,6 +232,97 @@ def cmd_optimize(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Drive the always-on daemon: submit the suite as individual
+    requests (retrying through ``ServiceBusy`` backpressure), stream
+    results back in completion order, and report serving stats."""
+    import asyncio
+
+    from repro.errors import ServiceBusy
+    from repro.litho.simulator import LithoConfig
+    from repro.service import MaskOptDaemon, OptRequest
+
+    config = LithoConfig(
+        pixel_nm=args.pixel_nm,
+        max_kernels=args.max_kernels,
+        fft_backend=args.fft_backend,
+        spectra_store=_store_root(args),
+    )
+    clips = _build_clips(args)
+    if not clips:
+        raise ReproError("no clips selected")
+    if args.workers < 1:
+        raise ReproError(f"--workers must be >= 1, got {args.workers}")
+    overrides = dict(args.opt or [])
+    verify = not args.no_verify
+
+    async def run():
+        daemon = MaskOptDaemon(
+            litho_config=config,
+            workers=args.workers,
+            dispatch=args.dispatch,
+            max_pending=args.max_pending,
+        )
+        async with daemon:
+            tickets = []
+            for clip in clips:
+                request = OptRequest(
+                    clip=clip, engine=args.engine,
+                    engine_overrides=overrides, verify=verify,
+                )
+                while True:
+                    try:
+                        tickets.append(await daemon.submit(request))
+                        break
+                    except ServiceBusy:
+                        # Admission control said back off; results keep
+                        # streaming while we wait for headroom.
+                        await asyncio.sleep(0.05)
+            results = []
+            async for result in daemon.results(tickets):
+                results.append(result)
+            return results, daemon.stats()
+
+    results, stats = asyncio.run(run())
+    print(f"repro serve: engine={args.engine} suite={args.suite} "
+          f"clips={len(clips)} workers={args.workers} "
+          f"dispatch={args.dispatch}")
+    print(f"{'clip':12s} {'EPE (nm)':>10s} {'PVB (nm^2)':>12s} "
+          f"{'RT (s)':>8s} {'steps':>5s}  verified")
+    verified_marks = {"verified": "ok", "unverified": "-",
+                      "unverifiable": "n/a"}
+    for result in sorted(results, key=lambda r: r.request_id):
+        verified = verified_marks.get(result.outcome, result.outcome)
+        print(
+            f"{result.clip_name:12s} {result.epe_nm:10.3f} "
+            f"{result.pvband_nm2:12.1f} {result.runtime_s:8.2f} "
+            f"{result.steps:5d}  {verified}"
+        )
+    service_stats = stats["service"]
+    print(f"daemon: {stats['submitted']} submitted, "
+          f"{stats['completed']} completed, {stats['failed']} failed, "
+          f"{stats['rejected']} shed by admission control")
+    print(f"verification: {service_stats['verify_items']} masks in "
+          f"{service_stats['verify_batch_calls']} batched litho calls")
+    if args.stats_json:
+        payload = {
+            "command": "serve",
+            "engine": args.engine,
+            "suite": args.suite,
+            "workers": args.workers,
+            "dispatch": args.dispatch,
+            "results": [result.to_dict() for result in results],
+            "daemon_stats": stats,
+            "version": __version__,
+        }
+        with open(args.stats_json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True,
+                      default=str)
+            handle.write("\n")
+        print(f"wrote {args.stats_json}")
+    return 0
+
+
 def cmd_table(args) -> int:
     from repro.eval import experiments
 
@@ -304,6 +418,39 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write machine-readable results to PATH")
     add_litho_knobs(opt, max_kernels_default=6)
     opt.set_defaults(func=cmd_optimize)
+
+    serve = sub.add_parser(
+        "serve", help="run the suite through the always-on async daemon"
+    )
+    serve.add_argument("--engine", default="mbopc",
+                       help="registry engine name (default mbopc)")
+    serve.add_argument("--suite", default="tiny",
+                       choices=["tiny", "via", "metal"],
+                       help="clip source (default: one tiny generated "
+                            "via clip)")
+    serve.add_argument("--count", type=int, default=0,
+                       help="limit the number of clips (0 = suite default)")
+    serve.add_argument("--names", default=None,
+                       help="comma-separated clip names to keep (via/metal)")
+    serve.add_argument("--opt", action="append", type=_parse_override,
+                       metavar="KEY=VALUE",
+                       help="engine config override (repeatable)")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="persistent warm workers per engine pool "
+                            "(default 2)")
+    serve.add_argument("--dispatch", default="steal",
+                       choices=["steal", "static"],
+                       help="work-stealing shared queue (default) or the "
+                            "static round-robin baseline")
+    serve.add_argument("--max-pending", type=int, default=32, metavar="N",
+                       help="per-tenant admission bound before requests "
+                            "are shed with ServiceBusy (default 32)")
+    serve.add_argument("--no-verify", action="store_true",
+                       help="skip the batched re-simulation cross-check")
+    serve.add_argument("--stats-json", default=None, metavar="PATH",
+                       help="write results + serving metrics JSON to PATH")
+    add_litho_knobs(serve, max_kernels_default=6)
+    serve.set_defaults(func=cmd_serve)
 
     table = sub.add_parser(
         "table", help="regenerate paper Table 1 / Table 2 via the service"

@@ -58,3 +58,9 @@ class ConfigError(ReproError):
 
 class ServiceError(ReproError):
     """Mask-optimization service failure (bad request, unknown engine...)."""
+
+
+class ServiceBusy(ServiceError):
+    """Admission control rejected a request: the tenant's queue is at its
+    bounded depth.  Callers should back off and resubmit — the daemon
+    sheds load explicitly instead of buffering without bound."""

@@ -60,6 +60,16 @@ Components:
   finish so verification (``flush_ready``) overlaps optimization.
   Sharding reorders work, never numbers — sharded results are
   bit-for-bit identical to the sequential sweep.
+* :class:`~repro.service.workqueue.WorkStealingPool` — the persistent
+  warm worker fleet under both sharded sweeps and the daemon: one
+  shared task queue per engine spec, workers pull the next clip the
+  moment they free up, crashed workers are revivable in place.
+* :class:`~repro.service.daemon.MaskOptDaemon` — the always-on asyncio
+  front door (``python -m repro serve``): ``await submit(request,
+  tenant=...)`` continuously, per-tenant bounded queues that shed load
+  with :class:`~repro.errors.ServiceBusy`, streaming verification on a
+  dedicated thread, crashed workers revived without dropping the
+  daemon, graceful drain-and-shutdown.
 
 The shared simulator inherits everything from
 :class:`~repro.litho.simulator.LithoConfig`, including
@@ -73,7 +83,9 @@ re-simulation); batching only amortizes transforms, it never changes a
 reported number.
 """
 
+from repro.errors import ServiceBusy, ServiceError
 from repro.service.api import OptRequest, OptResult
+from repro.service.daemon import MaskOptDaemon
 from repro.service.registry import (
     available_engines,
     build_engine,
@@ -91,11 +103,15 @@ from repro.service.sharding import (
     OptOutcome,
     ShardedSuiteRunner,
 )
+from repro.service.workqueue import Task, WorkStealingPool
 
 __all__ = [
     "OptRequest",
     "OptResult",
     "MaskOptService",
+    "MaskOptDaemon",
+    "ServiceBusy",
+    "ServiceError",
     "available_engines",
     "build_engine",
     "create_engine",
@@ -107,4 +123,6 @@ __all__ = [
     "EngineSpec",
     "OptOutcome",
     "ShardedSuiteRunner",
+    "Task",
+    "WorkStealingPool",
 ]

@@ -23,14 +23,17 @@ class OptRequest:
 
     Attributes:
         clip: The layout window to correct.
-        engine: Either a registry name (``"camo"``, ``"mbopc"`` /
+        engine: A registry name (``"camo"``, ``"mbopc"`` /
             ``"calibre"``, ``"rlopc"``, ``"damo"``, ``"ilt"`` — see
-            :mod:`repro.service.registry`) or an already-constructed
-            engine instance implementing the ``OPCEngine`` protocol
-            (anything with ``optimize(clip, **kwargs)``).
+            :mod:`repro.service.registry`), a factory callable
+            ``(simulator, overrides) -> engine`` (the picklable spec
+            process-sharded paths and the daemon need), or an
+            already-constructed engine instance implementing the
+            ``OPCEngine`` protocol (anything with
+            ``optimize(clip, **kwargs)``).
         engine_overrides: Config-field overrides applied when the engine
-            is built from the registry (ignored for instances, which
-            arrive fully configured).
+            is built from a registry name or factory (rejected for
+            instances, which arrive fully configured).
         optimize_kwargs: Extra keyword arguments forwarded to
             ``engine.optimize`` (e.g. ``max_updates=``).
         verify: Whether this request participates in the shape-binned
@@ -60,15 +63,16 @@ class OptRequest:
         if isinstance(self.engine, str) and not self.engine:
             raise ServiceError("OptRequest.engine name must be non-empty")
         if not isinstance(self.engine, str):
-            if not callable(getattr(self.engine, "optimize", None)):
+            is_instance = callable(getattr(self.engine, "optimize", None))
+            if not is_instance and not callable(self.engine):
                 raise ServiceError(
-                    "OptRequest.engine must be a registry name or an object "
-                    "with an optimize(clip) method"
+                    "OptRequest.engine must be a registry name, a factory "
+                    "callable, or an object with an optimize(clip) method"
                 )
-            if self.engine_overrides:
+            if is_instance and self.engine_overrides:
                 raise ServiceError(
-                    "engine_overrides only apply to registry-built engines; "
-                    "configure the instance directly instead"
+                    "engine_overrides only apply to registry- or factory-"
+                    "built engines; configure the instance directly instead"
                 )
         if self.epe_search_nm is not None and self.epe_search_nm <= 0:
             raise ServiceError(
@@ -80,7 +84,9 @@ class OptRequest:
         """Human-readable engine identifier for results and logs."""
         if isinstance(self.engine, str):
             return self.engine
-        return getattr(self.engine, "name", type(self.engine).__name__)
+        if callable(getattr(self.engine, "optimize", None)):
+            return getattr(self.engine, "name", type(self.engine).__name__)
+        return getattr(self.engine, "__name__", type(self.engine).__name__)
 
 
 VERIFICATION_OUTCOMES = ("verified", "unverified", "unverifiable")

@@ -20,10 +20,21 @@ drains only the bins that have already accumulated ``min_bin`` masks, so
 the process-sharded suite path (:mod:`repro.service.sharding`) verifies
 full bins while workers are still optimizing and leaves stragglers for
 the terminal :meth:`~ShapeBinScheduler.flush`.
+
+The scheduler is thread-safe: the always-on daemon
+(:mod:`repro.service.daemon`) adds outcomes and flushes from a dedicated
+verifier thread while other threads read the counters for ``stats()``.
+Queue mutations and counter updates happen under an internal lock; the
+expensive litho/metrology calls run *outside* it, so a concurrent
+``add`` never blocks behind a flush in progress.  A bin is popped from
+the queue atomically before it is measured — two threads flushing
+concurrently split the bins between them rather than measuring anything
+twice.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Hashable
 
@@ -69,10 +80,14 @@ class ShapeBinScheduler:
     _bins: dict[tuple, list[VerifyItem]] = field(default_factory=dict)
     batch_calls: int = 0
     items_flushed: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def add(self, item: VerifyItem) -> None:
         bin_key = (item.grid.shape, float(item.epe_search_nm))
-        self._bins.setdefault(bin_key, []).append(item)
+        with self._lock:
+            self._bins.setdefault(bin_key, []).append(item)
 
     def add_outcome(
         self,
@@ -96,11 +111,24 @@ class ShapeBinScheduler:
 
     @property
     def pending(self) -> int:
-        return sum(len(members) for members in self._bins.values())
+        with self._lock:
+            return sum(len(members) for members in self._bins.values())
 
     @property
     def bin_count(self) -> int:
-        return len(self._bins)
+        with self._lock:
+            return len(self._bins)
+
+    def counters(self) -> dict[str, int]:
+        """Consistent snapshot of the flush counters (for ``stats()``
+        readers racing the verifier thread)."""
+        with self._lock:
+            return {
+                "batch_calls": self.batch_calls,
+                "items_flushed": self.items_flushed,
+                "pending": sum(len(m) for m in self._bins.values()),
+                "bins": len(self._bins),
+            }
 
     def flush(self, simulator: LithographySimulator) -> dict[Hashable, float]:
         """Re-measure every queued mask: one ``simulate_batch`` plus one
@@ -110,7 +138,9 @@ class ShapeBinScheduler:
         insertion order, so repeated flushes of the same queue issue the
         same calls in the same order.
         """
-        return self._flush_keys(simulator, list(self._bins))
+        with self._lock:
+            keys = list(self._bins)
+        return self._flush_keys(simulator, keys)
 
     def flush_ready(
         self, simulator: LithographySimulator, min_bin: int = 1
@@ -128,10 +158,11 @@ class ShapeBinScheduler:
         """
         if min_bin < 1:
             raise ValueError(f"min_bin must be >= 1, got {min_bin}")
-        ready = [
-            key for key, members in self._bins.items()
-            if len(members) >= min_bin
-        ]
+        with self._lock:
+            ready = [
+                key for key, members in self._bins.items()
+                if len(members) >= min_bin
+            ]
         return self._flush_keys(simulator, ready)
 
     def discard(self, keys) -> int:
@@ -143,29 +174,38 @@ class ShapeBinScheduler:
         """
         wanted = set(keys)
         removed = 0
-        for bin_key in list(self._bins):
-            members = self._bins[bin_key]
-            kept = [item for item in members if item.key not in wanted]
-            removed += len(members) - len(kept)
-            if kept:
-                self._bins[bin_key] = kept
-            else:
-                del self._bins[bin_key]
+        with self._lock:
+            for bin_key in list(self._bins):
+                members = self._bins[bin_key]
+                kept = [item for item in members if item.key not in wanted]
+                removed += len(members) - len(kept)
+                if kept:
+                    self._bins[bin_key] = kept
+                else:
+                    del self._bins[bin_key]
         return removed
 
     def _flush_keys(
         self, simulator: LithographySimulator, keys: list[tuple]
     ) -> dict[Hashable, float]:
         """Flush the named bins (one batched litho + metrology call each,
-        in queue insertion order) and drop them from the queue."""
+        in queue insertion order) and drop them from the queue.
+
+        Each bin is popped atomically before it is measured, and the
+        litho/metrology calls run outside the lock — concurrent adds
+        never wait on a flush, and a bin that another thread already
+        took is simply skipped.
+        """
         measured: dict[Hashable, float] = {}
         threshold = simulator.config.threshold
         for key in keys:
-            members = self._bins.pop(key)
+            with self._lock:
+                members = self._bins.pop(key, None)
+            if not members:
+                continue
             (_, search_nm) = key
             stack = np.stack([item.mask for item in members])
             results = simulator.simulate_batch(stack, members[0].grid)
-            self.batch_calls += 1
             reports = measure_epe_grouped(
                 np.stack([litho.aerial for litho in results]),
                 [item.grid for item in members],
@@ -175,5 +215,7 @@ class ShapeBinScheduler:
             )
             for item, report in zip(members, reports):
                 measured[item.key] = report.total_abs
-            self.items_flushed += len(members)
+            with self._lock:
+                self.batch_calls += 1
+                self.items_flushed += len(members)
         return measured

@@ -40,7 +40,7 @@ from repro.errors import MetrologyError, ServiceError
 from repro.geometry.layout import Clip
 from repro.litho.simulator import LithoConfig, LithographySimulator
 from repro.service.api import OptRequest, OptResult
-from repro.service.registry import create_engine, engine_epe_search_nm
+from repro.service.registry import build_engine, engine_epe_search_nm
 from repro.service.scheduler import ShapeBinScheduler
 from repro.service.sharding import EngineSpec, ShardedSuiteRunner
 
@@ -90,14 +90,24 @@ class MaskOptService:
 
     # -- engine management ---------------------------------------------------
     def engine_for(self, request: OptRequest):
-        """Resolve a request's engine (instances pass through; registry
-        builds are cached per (name, overrides, training suite) so a
-        suite of requests shares one engine — and one training run)."""
-        if not isinstance(request.engine, str):
+        """Resolve a request's engine (instances pass through; registry-
+        name and factory builds are cached per (spec, overrides,
+        training suite) so a suite of requests shares one engine — and
+        one training run).
+
+        The get/build/insert runs under the service lock: two threads
+        resolving the same key concurrently would otherwise both build
+        (and both *train*) an engine, with one winning the cache and the
+        other silently producing numbers from a duplicate — the build
+        cost is paid once, holding submitters out for its duration.
+        """
+        if not isinstance(request.engine, str) and callable(
+            getattr(request.engine, "optimize", None)
+        ):
             if request.train_clips:
                 raise ServiceError(
-                    "train_clips only applies to registry-built engines; "
-                    "train the instance before submitting"
+                    "train_clips only applies to registry- or factory-"
+                    "built engines; train the instance before submitting"
                 )
             return request.engine
         key = (
@@ -107,20 +117,21 @@ class MaskOptService:
             )),
             tuple(clip.name for clip in request.train_clips),
         )
-        engine = self._engines.get(key)
-        if engine is None:
-            engine = create_engine(
-                request.engine, self.simulator, request.engine_overrides
-            )
-            if request.train_clips:
-                train = getattr(engine, "train", None)
-                if not callable(train):
-                    raise ServiceError(
-                        f"engine {request.engine!r} has no train() method "
-                        "but the request carries train_clips"
-                    )
-                train(list(request.train_clips))
-            self._engines[key] = engine
+        with self._lock:
+            engine = self._engines.get(key)
+            if engine is None:
+                engine = build_engine(
+                    request.engine, self.simulator, request.engine_overrides
+                )
+                if request.train_clips:
+                    train = getattr(engine, "train", None)
+                    if not callable(train):
+                        raise ServiceError(
+                            f"engine {request.engine!r} has no train() "
+                            "method but the request carries train_clips"
+                        )
+                    train(list(request.train_clips))
+                self._engines[key] = engine
         return engine
 
     # -- submission / execution ----------------------------------------------
@@ -317,6 +328,7 @@ class MaskOptService:
         engine_overrides: Mapping[str, Any] | None = None,
         verify: bool = True,
         stream_min_bin: int | None = None,
+        dispatch: str = "steal",
         **optimize_kwargs,
     ) -> list[OptResult]:
         """Sweep one engine over a suite with N worker processes,
@@ -328,14 +340,17 @@ class MaskOptService:
         simulator (sharing this service's
         :class:`~repro.litho.simulator.LithoConfig`, including
         ``spectra_store=``, so all workers warm one on-disk kernel-
-        spectra store).  As outcomes stream back, every one joins the
-        shape-binned scheduler and any bin reaching ``stream_min_bin``
-        masks (default ``max(4, 2 * workers)``) is flushed immediately —
-        verification overlaps optimization instead of serializing after
-        it; a terminal flush drains the remainder.  Results are
-        bit-for-bit identical to the sequential sweep: sharding reorders
-        work, never numbers.  ``workers=1`` runs inline (no processes)
-        through the identical code path.
+        spectra store).  Workers pull clips from a shared work-stealing
+        queue (``dispatch="static"`` restores the PR 5 round-robin deal
+        for A/B benchmarking), so skewed suites load-balance.  As
+        outcomes stream back, every one joins the shape-binned scheduler
+        and any bin reaching ``stream_min_bin`` masks (default
+        ``max(4, 2 * workers)``) is flushed immediately — verification
+        overlaps optimization instead of serializing after it; a
+        terminal flush drains the remainder.  Results are bit-for-bit
+        identical to the sequential sweep: sharding and work stealing
+        reorder work, never numbers.  ``workers=1`` runs inline (no
+        processes) through the identical code path.
 
         Returns one :class:`OptResult` per clip, in clip order; the
         ``raw_outcome`` of each is the streamed picklable
@@ -395,50 +410,68 @@ class MaskOptService:
                     )
                 )
 
-        runner = ShardedSuiteRunner(spec, workers)
+        runner = ShardedSuiteRunner(spec, workers, dispatch=dispatch)
         try:
             payloads = runner.run(
                 clip_list, optimize_kwargs, on_outcome=on_outcome,
                 capture_masks=verify,
             )
+            if verify:
+                measured.update(self.scheduler.flush(self.simulator))
+            executed = [
+                (ticket, request, payload)
+                for ticket, request, payload
+                in zip(tickets, requests, payloads)
+            ]
+            return self._assemble(executed, measured, verify)
         except BaseException:
-            # The sweep died mid-stream: take back whatever this run
-            # queued so a caller that catches the error and reuses the
-            # service doesn't re-simulate stale masks next pass.
+            # The sweep died mid-stream (or its terminal flush / drift
+            # check raised): take back whatever this run queued so a
+            # caller that catches the error and reuses the service
+            # doesn't re-simulate stale masks next pass.
             self.scheduler.discard(tickets)
             raise
-        if verify:
-            measured.update(self.scheduler.flush(self.simulator))
-        executed = [
-            (ticket, request, payload)
-            for ticket, request, payload in zip(tickets, requests, payloads)
-        ]
-        return self._assemble(executed, measured, verify)
 
     # -- shared tail: verification + result assembly --------------------------
     def _finalize(
         self, executed: list[tuple[int, OptRequest, Any, Any]], verify: bool
     ) -> list[OptResult]:
+        """Queue every verifiable outcome, flush, drift-check, assemble.
+
+        On *any* failure past the point where outcomes entered the
+        shared scheduler — a flush that raises mid-way, a drift check
+        that raises :class:`MetrologyError` — this run's tickets are
+        taken back out (``discard``), exactly as ``run_suite_sharded``
+        does: a caller that catches the error and reuses the service
+        must not re-simulate (or mis-attribute) this run's stale masks
+        on its next verification pass.
+        """
         measured: dict[int, float] = {}
-        if verify:
-            for ticket, request, engine, outcome in executed:
-                if not request.verify:
-                    continue
-                search_nm = (
-                    float(request.epe_search_nm)
-                    if request.epe_search_nm is not None
-                    else engine_epe_search_nm(engine)
-                )
-                self.scheduler.add_outcome(
-                    ticket, request.clip, outcome, self.simulator, search_nm
-                )
-            measured = self.scheduler.flush(self.simulator)
-        return self._assemble(
-            [(ticket, request, outcome)
-             for ticket, request, _, outcome in executed],
-            measured,
-            verify,
-        )
+        tickets = [ticket for ticket, _, _, _ in executed]
+        try:
+            if verify:
+                for ticket, request, engine, outcome in executed:
+                    if not request.verify:
+                        continue
+                    search_nm = (
+                        float(request.epe_search_nm)
+                        if request.epe_search_nm is not None
+                        else engine_epe_search_nm(engine)
+                    )
+                    self.scheduler.add_outcome(
+                        ticket, request.clip, outcome, self.simulator,
+                        search_nm,
+                    )
+                measured = self.scheduler.flush(self.simulator)
+            return self._assemble(
+                [(ticket, request, outcome)
+                 for ticket, request, _, outcome in executed],
+                measured,
+                verify,
+            )
+        except BaseException:
+            self.scheduler.discard(tickets)
+            raise
 
     def _assemble(
         self,
@@ -490,16 +523,24 @@ class MaskOptService:
 
     # -- introspection --------------------------------------------------------
     def stats(self) -> dict[str, Any]:
-        """Serving counters: verification batching + spectra-store state."""
+        """Serving counters: verification batching + spectra-store state.
+
+        Safe to call from any thread while a verifier thread is
+        flushing — the scheduler counters come from one locked snapshot
+        instead of torn attribute reads.
+        """
         with self._lock:
             issued = self._next_id
             queued = len(self._pending)
+            engines_cached = len(self._engines)
+        verify = self.scheduler.counters()
         info: dict[str, Any] = {
             "requests_issued": issued,
             "pending": queued,
-            "engines_cached": len(self._engines),
-            "verify_batch_calls": self.scheduler.batch_calls,
-            "verify_items": self.scheduler.items_flushed,
+            "engines_cached": engines_cached,
+            "verify_batch_calls": verify["batch_calls"],
+            "verify_items": verify["items_flushed"],
+            "verify_pending": verify["pending"],
         }
         store = self.simulator.spectra_store()
         if store is not None:

@@ -1,11 +1,12 @@
-"""Process-sharded suite execution: per-clip worker processes.
+"""Process-sharded suite execution over the work-stealing pool.
 
 :class:`~repro.service.service.MaskOptService.map_suite` thread-pools
 *across* engines, but one engine's sweep over a benchmark suite is still
 a single-core sequential loop — the litho FFTs release the GIL under the
 scipy backend, yet the surrounding python (policy forwards, geometry,
 metrology) serializes.  :class:`ShardedSuiteRunner` breaks that limit by
-partitioning one engine's clip list across N worker *processes*:
+fanning one engine's clip list out to N worker *processes* pulling from
+a shared :class:`~repro.service.workqueue.WorkStealingPool` queue:
 
 * **Spawn-safe by construction.**  Workers are started with the
   ``spawn`` method (the only start method that is safe everywhere and
@@ -19,6 +20,12 @@ partitioning one engine's clip list across N worker *processes*:
   and atomically write one on-disk kernel-spectra store: the first
   worker to meet a grid shape persists its band spectra and every other
   worker's build becomes one ``.npz`` read (:mod:`repro.litho.store`).
+* **Work-stealing dispatch.**  Clips sit on one shared task queue and
+  each worker pulls its next clip the moment it finishes the previous
+  one, so heterogeneous suites (mixed grid sizes, early-exiting clips)
+  load-balance themselves instead of leaving one round-robin shard with
+  the expensive tail (``dispatch="static"`` retains the PR 5 deal as
+  the benchmark baseline).
 * **Streaming results.**  Each finished clip is flattened into a
   picklable :class:`OptOutcome` (reported numbers + the rasterized final
   mask) and put on a queue *immediately*, so the parent can verify full
@@ -27,25 +34,19 @@ partitioning one engine's clip list across N worker *processes*:
 * **Numbers never change.**  Sharding reorders *work*, not computation:
   each ``optimize(clip)`` runs against a freshly built engine/simulator
   pair that is bit-for-bit deterministic from the spec, and the mask is
-  rasterized on the same per-clip grid the parent would use.  A sharded
-  sweep is pinned identical to the sequential one in
-  ``tests/test_service_sharding.py``.  (This requires engines whose
-  ``optimize`` is per-clip deterministic and stateless across calls —
-  true of every registry engine.)
+  rasterized on the same per-clip grid the parent would use — so *which*
+  worker runs a clip is irrelevant and work stealing preserves the
+  bit-for-bit pin (``tests/test_service_sharding.py``).  (This requires
+  engines whose ``optimize`` is per-clip deterministic and stateless
+  across calls — true of every registry engine.)
 * **Crashes fail loudly.**  A worker that dies mid-suite (OOM kill,
-  segfault, ``os._exit``) is detected by the parent's liveness poll and
-  surfaces as a :class:`~repro.errors.ServiceError` naming the clip that
-  was in flight; the queue can never hang and sibling workers are torn
-  down.
+  segfault, ``os._exit``) is detected by the pool's liveness poll and
+  surfaces as a :class:`~repro.errors.ServiceError` naming the claimed
+  clip; the queue can never hang and sibling workers are torn down.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
-import queue as queue_mod
-import threading
-import time
-import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -60,14 +61,13 @@ from repro.service.registry import (
     spec_label,
 )
 from repro.service.scheduler import final_mask_image
-
-DEFAULT_START_METHOD = "spawn"
-
-_POLL_INTERVAL_S = 0.05
-_CRASH_GRACE_S = 1.0
-"""A dead worker's last messages may still be in the pipe; wait this
-long after observing its exit before declaring the queue dry and the
-worker crashed."""
+from repro.service.workqueue import (
+    DEFAULT_START_METHOD,
+    POLL_INTERVAL_S,
+    DeadWorker,
+    Task,
+    WorkStealingPool,
+)
 
 
 @dataclass(frozen=True)
@@ -176,58 +176,19 @@ class EngineSpec:
             simulator
 
 
-def _describe_error(exc: BaseException) -> str:
-    return "".join(
-        traceback.format_exception_only(type(exc), exc)
-    ).strip()
-
-
-def _shard_worker(
-    worker_id: int,
-    spec: EngineSpec,
-    assignment: list[tuple[int, Clip]],
-    optimize_kwargs: dict,
-    capture_masks: bool,
-    out_queue,
-) -> None:
-    """Worker entry point: build the engine, stream one OptOutcome per
-    assigned clip, then announce a clean exit.
-
-    Runs in a spawned child process; every message is a 4-tuple
-    ``(kind, worker_id, clip_index, payload)`` with kind one of
-    ``"ok"`` / ``"error"`` / ``"fatal"`` / ``"exit"``.
-    """
-    try:
-        if spec.seed is not None:
-            np.random.seed(spec.seed)
-        engine, simulator = spec.build()
-        search_nm = engine_epe_search_nm(engine)
-    except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
-        out_queue.put(("fatal", worker_id, None, _describe_error(exc)))
-        return
-    for index, clip in assignment:
-        try:
-            raw = engine.optimize(clip, **optimize_kwargs)
-            payload = OptOutcome.from_raw(
-                raw, clip, simulator, search_nm, worker=worker_id,
-                capture_mask=capture_masks,
-            )
-        except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
-            out_queue.put(("error", worker_id, index, _describe_error(exc)))
-            return
-        out_queue.put(("ok", worker_id, index, payload))
-    out_queue.put(("exit", worker_id, None, None))
-
-
 class ShardedSuiteRunner:
-    """Partition one engine's clip sweep across N worker processes.
+    """Fan one engine's clip sweep out to N worker processes.
 
-    Clips are dealt round-robin (worker ``w`` takes ``clips[w::N]``) so
-    clip order within each worker matches suite order and load stays
-    even for homogeneous suites.  :meth:`run` streams every finished
-    clip through the ``on_outcome`` callback as it arrives (arrival
-    order is nondeterministic) and returns the full outcome list in
-    suite order (which is not).
+    With the default ``dispatch="steal"`` every worker pulls its next
+    clip from one shared queue the moment it frees up, so load balances
+    even when clip costs are skewed; ``dispatch="static"`` retains the
+    PR 5 round-robin deal (worker ``w`` takes ``clips[w::N]``) as a
+    pinned-placement baseline.  :meth:`run` streams every finished clip
+    through the ``on_outcome`` callback as it arrives (arrival order is
+    nondeterministic) and returns the full outcome list in suite order
+    (which is not) — either dispatch mode yields bit-for-bit identical
+    outcomes, because *which* worker runs a clip never enters the
+    computation.
     """
 
     def __init__(
@@ -235,6 +196,7 @@ class ShardedSuiteRunner:
         spec: EngineSpec,
         workers: int,
         start_method: str = DEFAULT_START_METHOD,
+        dispatch: str = "steal",
     ) -> None:
         if not isinstance(spec, EngineSpec):
             raise ServiceError(
@@ -246,6 +208,7 @@ class ShardedSuiteRunner:
         self.spec = spec
         self.workers = int(workers)
         self.start_method = start_method
+        self.dispatch = dispatch
 
     # -- in-process fallback -------------------------------------------------
     def _run_inline(
@@ -311,79 +274,45 @@ class ShardedSuiteRunner:
                 clip_list, kwargs, on_outcome, capture_masks
             )
 
-        assignments = [
-            list(enumerate(clip_list))[w::workers] for w in range(workers)
-        ]
-        ctx = mp.get_context(self.start_method)
-        out_queue = ctx.Queue()
-
-        # All pipe reads happen on a daemon relay thread, never on this
-        # thread.  A mask payload spans many pipe writes, so a worker
-        # SIGKILLed mid-write leaves a torn frame that would block a
-        # direct `out_queue.get()` *after* its timeout-bearing poll said
-        # data was ready — an unbounded hang.  With the relay, only the
-        # drainer can get stuck on a torn frame; this thread polls the
-        # in-process queue with real timeouts and still reaches the
-        # liveness check, so the sweep fails with ServiceError instead
-        # of hanging (the stuck daemon thread is abandoned at exit).
-        relay: queue_mod.Queue = queue_mod.Queue()
-        stop_draining = threading.Event()
-
-        def drain() -> None:
-            while not stop_draining.is_set():
-                try:
-                    message = out_queue.get(timeout=_POLL_INTERVAL_S)
-                except queue_mod.Empty:
-                    continue
-                except BaseException as exc:  # noqa: BLE001 - relayed
-                    # Closed queue on shutdown, or a misframed payload
-                    # from a killed writer failing to unpickle.
-                    if not stop_draining.is_set():
-                        relay.put(("corrupt", None, None,
-                                   _describe_error(exc)))
-                    return
-                relay.put(message)
-
-        drainer = threading.Thread(
-            target=drain, daemon=True, name="repro-shard-drain"
+        # The pool's relay thread owns all pipe reads: a worker
+        # SIGKILLed mid-payload-write (torn queue frame) can only wedge
+        # that abandonable daemon thread, while this loop polls the
+        # in-process relay with real timeouts and still reaches the
+        # liveness check — the sweep fails with ServiceError instead of
+        # hanging.
+        pool = WorkStealingPool(
+            self.spec, workers, start_method=self.start_method,
+            dispatch=self.dispatch,
         )
-        procs = [
-            ctx.Process(
-                target=_shard_worker,
-                args=(w, self.spec, assignments[w], kwargs, capture_masks,
-                      out_queue),
-                daemon=True,
-                name=f"repro-shard-{w}",
-            )
-            for w in range(workers)
-        ]
         outcomes: list[OptOutcome | None] = [None] * len(clip_list)
-        received: list[set[int]] = [set() for _ in range(workers)]
-        exited: set[int] = set()
-        dead_since: dict[int, float] = {}
         try:
-            for proc in procs:
-                proc.start()
-            drainer.start()
+            pool.start()
+            for index, clip in enumerate(clip_list):
+                pool.submit(
+                    Task(
+                        task_id=index, clip=clip, optimize_kwargs=kwargs,
+                        capture_mask=capture_masks,
+                    ),
+                    worker=(
+                        index % workers if self.dispatch == "static" else None
+                    ),
+                )
             pending = len(clip_list)
-            while pending > 0 or len(exited) < workers:
-                try:
-                    kind, wid, index, payload = relay.get(
-                        timeout=_POLL_INTERVAL_S
-                    )
-                except queue_mod.Empty:
-                    self._check_liveness(
-                        procs, assignments, received, exited, dead_since
-                    )
+            while pending > 0:
+                message = pool.get_message(timeout=POLL_INTERVAL_S)
+                if message is None:
+                    for dead in pool.check_dead():
+                        raise self._death_error(dead)
                     continue
+                pool.observe(message)
+                kind, wid, task_id, payload = message
                 if kind == "ok":
-                    outcomes[index] = payload
-                    received[wid].add(index)
+                    outcomes[task_id] = payload
                     pending -= 1
                     if on_outcome is not None:
-                        on_outcome(index, payload)
+                        on_outcome(task_id, payload)
                 elif kind == "error":
-                    clip = clip_list[index]
+                    clip = clip_list[task_id]
                     raise ServiceError(
                         f"shard worker {wid} failed optimizing clip "
                         f"{clip.name!r} ({self.spec.label}): {payload}"
@@ -393,65 +322,28 @@ class ShardedSuiteRunner:
                         f"shard worker {wid} could not build engine "
                         f"{self.spec.label!r}: {payload}"
                     )
-                elif kind == "exit":
-                    exited.add(wid)
                 elif kind == "corrupt":
                     raise ServiceError(
                         f"shard result stream corrupted "
                         f"({self.spec.label}): {payload}"
                     )
-                else:  # pragma: no cover - protocol bug guard
-                    raise ServiceError(
-                        f"unknown shard message kind {kind!r}"
-                    )
-        finally:
-            stop_draining.set()
-            for proc in procs:
-                if proc.is_alive():
-                    proc.terminate()
-            for proc in procs:
-                proc.join(timeout=5.0)
-            out_queue.close()
+                # "ready" / "claim" / "exit" are liveness bookkeeping,
+                # already folded in by pool.observe.
+        except BaseException:
+            pool.shutdown(graceful=False)
+            raise
+        pool.shutdown(graceful=True)
         assert all(outcome is not None for outcome in outcomes)
         return outcomes  # type: ignore[return-value]
 
-    def _check_liveness(
-        self,
-        procs: list,
-        assignments: list[list[tuple[int, Clip]]],
-        received: list[set[int]],
-        exited: set[int],
-        dead_since: dict[int, float],
-    ) -> None:
-        """Raise for any worker that died without a clean ``exit``.
-
-        The queue just came up empty; if a non-exited worker's process
-        has an exitcode, its pipe may still hold in-flight messages, so
-        the crash is only declared after a grace window with the queue
-        still dry (messages received meanwhile reset nothing — the main
-        loop consumes them and comes back here only on another dry
-        poll).
-        """
-        now = time.monotonic()
-        for wid, proc in enumerate(procs):
-            if wid in exited or proc.exitcode is None:
-                continue
-            first_seen = dead_since.setdefault(wid, now)
-            if now - first_seen < _CRASH_GRACE_S:
-                continue
-            in_flight = next(
-                (
-                    clip for index, clip in assignments[wid]
-                    if index not in received[wid]
-                ),
-                None,
-            )
-            where = (
-                f"while optimizing clip {in_flight.name!r}"
-                if in_flight is not None
-                else "after finishing its clips but before its exit message"
-            )
-            raise ServiceError(
-                f"shard worker {wid} ({self.spec.label}) died with exit "
-                f"code {proc.exitcode} {where}; sweep aborted"
-            )
+    def _death_error(self, dead: DeadWorker) -> ServiceError:
+        """A worker died without a clean ``exit`` message."""
+        where = (
+            f"while optimizing clip {dead.task.clip.name!r}"
+            if dead.task is not None
+            else "with no claimed clip (between tasks)"
+        )
+        return ServiceError(
+            f"shard worker {dead.worker_id} ({self.spec.label}) died with "
+            f"exit code {dead.exitcode} {where}; sweep aborted"
+        )

@@ -568,3 +568,79 @@ class TestCLI:
                      "--pixel-nm", "8", "--max-kernels", "4"])
         assert code == 2
         assert "unknown engine" in capsys.readouterr().err
+
+
+class TestBuildClips:
+    """``_build_clips`` — the ``--suite`` / ``--count`` / ``--names``
+    contract shared by ``optimize`` and ``serve``."""
+
+    @staticmethod
+    def _clips(*argv):
+        from repro.__main__ import _build_clips, build_parser
+
+        args = build_parser().parse_args([
+            "optimize", "--pixel-nm", "8", "--max-kernels", "4", *argv,
+        ])
+        return _build_clips(args)
+
+    def test_tiny_default_count_is_one_clip(self):
+        clips = self._clips("--suite", "tiny")
+        assert [clip.name for clip in clips] == ["tiny1"]
+
+    def test_tiny_count_generates_that_many(self):
+        clips = self._clips("--suite", "tiny", "--count", "3")
+        assert [clip.name for clip in clips] == ["tiny1", "tiny2", "tiny3"]
+
+    def test_fixed_suite_count_truncates(self):
+        clips = self._clips("--suite", "via", "--count", "2")
+        assert [clip.name for clip in clips] == ["V1", "V2"]
+
+    def test_names_select_from_fixed_suite(self):
+        clips = self._clips("--suite", "metal", "--names", "M3,M1")
+        assert [clip.name for clip in clips] == ["M1", "M3"]
+
+    def test_names_filter_before_count_truncation(self):
+        clips = self._clips(
+            "--suite", "via", "--names", "V2,V5,V9", "--count", "2",
+        )
+        assert [clip.name for clip in clips] == ["V2", "V5"]
+
+    def test_tiny_with_names_is_an_error(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="generated on demand"):
+            self._clips("--suite", "tiny", "--names", "tiny1")
+
+    def test_negative_count_is_an_error(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="--count must be >= 0"):
+            self._clips("--suite", "via", "--count", "-1")
+
+    def test_unknown_names_are_an_error(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="V99"):
+            self._clips("--suite", "via", "--names", "V1,V99")
+
+    def test_serve_parser_shares_the_contract(self):
+        from repro.__main__ import _build_clips, build_parser
+
+        args = build_parser().parse_args([
+            "serve", "--pixel-nm", "8", "--max-kernels", "4",
+            "--suite", "via", "--names", "V4",
+        ])
+        assert args.dispatch == "steal"
+        assert args.workers == 2
+        assert args.max_pending == 32
+        assert [clip.name for clip in _build_clips(args)] == ["V4"]
+
+    def test_tiny_with_names_fails_via_cli(self, capsys):
+        from repro.__main__ import main
+
+        code = main([
+            "optimize", "--suite", "tiny", "--names", "tiny1",
+            "--engine", "mbopc", "--pixel-nm", "8", "--max-kernels", "4",
+        ])
+        assert code == 2
+        assert "generated on demand" in capsys.readouterr().err
