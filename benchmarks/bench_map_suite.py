@@ -15,15 +15,22 @@ of ``map_suite(workers=N)`` and ``python -m repro optimize --workers N``):
 * ``sharded``    — ``workers=N`` (default 4): N spawned worker processes
   split the clip list, share one *warm* on-disk kernel-spectra store (so
   no worker pays the TCC build), and stream outcomes back while the
-  parent drains full verification bins concurrently.
+  parent drains full verification bins concurrently;
+* ``journaled``  — the sharded sweep again with ``journal=`` armed: every
+  admission and verified result is CRC-framed and fsync'd to an
+  append-only outcome journal, the durability layer behind
+  ``python -m repro resume``.
 
 Results are asserted bit-for-bit identical before any number is
-reported — sharding reorders work, never numbers.  The speedup gate
-(>= 1.8x by default) is enforced only on hosts with >= 4 cores; on
-smaller hosts the run still checks parity and records timings, because a
-1-core container cannot demonstrate process parallelism no matter how
-correct the sharding is.  A machine-readable record of every run is
-written to ``BENCH_map_suite.json`` (override with ``--json``).
+reported — sharding reorders work, never numbers, and journaling
+observes outcomes, never changes them.  The speedup gate (>= 1.8x by
+default) and the journal-overhead gate (journaled sweep <= 5% slower
+than plain sharded by default, ``--max-journal-overhead``) are enforced
+only on hosts with >= 4 cores; on smaller hosts the run still checks
+parity and records timings, because a 1-core container cannot
+demonstrate process parallelism no matter how correct the sharding is.
+A machine-readable record of every run is written to
+``BENCH_map_suite.json`` (override with ``--json``).
 """
 
 from __future__ import annotations
@@ -42,6 +49,7 @@ from repro.service import MaskOptService
 
 WORKERS = 4
 SPEEDUP_THRESHOLD = 1.8
+JOURNAL_OVERHEAD_THRESHOLD = 0.05
 MIN_GATE_CORES = 4
 DEFAULT_JSON_PATH = "BENCH_map_suite.json"
 
@@ -83,6 +91,7 @@ def run(
     smoke: bool,
     workers: int = WORKERS,
     min_speedup: float = SPEEDUP_THRESHOLD,
+    max_journal_overhead: float = JOURNAL_OVERHEAD_THRESHOLD,
     json_path: str = DEFAULT_JSON_PATH,
     store_dir: str | None = None,
 ) -> int:
@@ -127,21 +136,37 @@ def run(
         )
         t_shard = time.perf_counter() - t0
 
+        journal_path = os.path.join(tmp, "bench.journal")
+        journaled_service = MaskOptService(litho_config=config)
+        t0 = time.perf_counter()
+        journaled = journaled_service.run_suite_sharded(
+            ENGINE, clips, workers=workers,
+            engine_overrides=ENGINE_OVERRIDES, journal=journal_path,
+        )
+        t_journal = time.perf_counter() - t0
+
         # -- correctness before speed --------------------------------------
         assert_identical(sharded, sequential)
+        assert_identical(journaled, sequential)
         if not all(r.outcome == "verified" for r in sharded):
             print("FAIL: sharded sweep left results unverified")
             return 1
 
         speedup = t_seq / t_shard
+        overhead = t_journal / t_shard - 1.0
         gated = cores >= MIN_GATE_CORES and workers >= MIN_GATE_CORES
-        passed = speedup >= min_speedup or not gated
+        speedup_ok = speedup >= min_speedup or not gated
+        overhead_ok = overhead <= max_journal_overhead or not gated
+        passed = speedup_ok and overhead_ok
 
         print(f"  sequential sweep (workers=1) : {t_seq:8.2f} s "
               f"({t_seq / count * 1e3:.0f} ms/clip)  [reference]")
         print(f"  sharded sweep  (workers={workers}) : {t_shard:8.2f} s "
               f"-> {speedup:4.2f}x  (bit-for-bit identical, "
               f"{sharded_service.scheduler.batch_calls} verify flushes)")
+        print(f"  journaled sweep (workers={workers}): {t_journal:8.2f} s "
+              f"-> {overhead * 100:+5.1f}% vs sharded  "
+              f"({count} fsync'd results at {journal_path})")
 
         write_json(json_path, {
             "bench": "map_suite",
@@ -155,24 +180,34 @@ def run(
             "spectra_store_entries": entries,
             "t_sequential_s": t_seq,
             "t_sharded_s": t_shard,
+            "t_journaled_s": t_journal,
             "speedup": speedup,
             "min_speedup": min_speedup,
+            "journal_overhead": overhead,
+            "max_journal_overhead": max_journal_overhead,
             "gate_enforced": gated,
             "verify_flushes_sharded": sharded_service.scheduler.batch_calls,
             "passed": passed,
         })
 
         if not gated:
-            print(f"PASS (gate not enforced: needs >= {MIN_GATE_CORES} cores "
+            print(f"PASS (gates not enforced: needs >= {MIN_GATE_CORES} cores "
                   f"and >= {MIN_GATE_CORES} workers; host has {cores} cores) "
-                  f"— parity verified, speedup {speedup:.2f}x recorded")
+                  f"— parity verified, speedup {speedup:.2f}x and journal "
+                  f"overhead {overhead * 100:+.1f}% recorded")
             return 0
-        if not passed:
+        if not speedup_ok:
             print(f"FAIL: sharded speedup {speedup:.2f}x < {min_speedup}x "
                   f"threshold at {workers} workers")
             return 1
+        if not overhead_ok:
+            print(f"FAIL: journal overhead {overhead * 100:+.1f}% > "
+                  f"{max_journal_overhead * 100:.0f}% of the sharded sweep")
+            return 1
         print(f"PASS: process sharding reaches {speedup:.2f}x >= "
-              f"{min_speedup}x at {workers} workers with a warm store")
+              f"{min_speedup}x at {workers} workers with a warm store; "
+              f"journal costs {overhead * 100:+.1f}% "
+              f"(<= {max_journal_overhead * 100:.0f}%)")
         return 0
 
 
@@ -187,6 +222,11 @@ def main() -> int:
                         help="fail below this sharded speedup (enforced on "
                              f">= {MIN_GATE_CORES}-core hosts; use a looser "
                              "value on noisy shared CI runners)")
+    parser.add_argument("--max-journal-overhead", type=float,
+                        default=JOURNAL_OVERHEAD_THRESHOLD, metavar="FRAC",
+                        help="fail when the journaled sharded sweep is more "
+                             "than this fraction slower than the plain one "
+                             f"(default {JOURNAL_OVERHEAD_THRESHOLD})")
     parser.add_argument("--store", default=None, metavar="DIR",
                         help="reuse a spectra store directory instead of a "
                              "throwaway tempdir")
@@ -195,8 +235,9 @@ def main() -> int:
                              f"default {DEFAULT_JSON_PATH})")
     args = parser.parse_args()
     return run(smoke=args.smoke, workers=args.workers,
-               min_speedup=args.min_speedup, json_path=args.json,
-               store_dir=args.store)
+               min_speedup=args.min_speedup,
+               max_journal_overhead=args.max_journal_overhead,
+               json_path=args.json, store_dir=args.store)
 
 
 if __name__ == "__main__":

@@ -1,12 +1,15 @@
 """``python -m repro`` — the command-line front door.
 
-Four subcommands, all built on :class:`repro.service.MaskOptService`:
+Five subcommands, all built on :class:`repro.service.MaskOptService`:
 
 * ``optimize``  — run one engine over a clip suite (generated tiny /
   via / metal benches), print the rows, optionally dump JSON.
 * ``serve``     — run the suite through the always-on async daemon
   (:class:`repro.service.MaskOptDaemon`): persistent warm worker pools,
   work-stealing dispatch, admission control, streaming verification.
+* ``resume``    — finish an interrupted ``optimize --journal`` / ``serve
+  --journal`` run from its outcome journal: completed clips are replayed
+  from disk, only the unfinished ones are re-dispatched.
 * ``table``     — regenerate the paper's Table 1 / Table 2 through the
   service-routed experiment drivers.
 * ``bench-info``— show the serving environment: version, FFT backend,
@@ -18,7 +21,9 @@ Examples::
     python -m repro optimize --suite via --count 2 --engine camo \
         --opt policy_temperature=1e6 --json results.json
     python -m repro optimize --suite via --engine mbopc --workers 4 \
-        --store /tmp/spectra
+        --store /tmp/spectra --journal sweep.journal
+    python -m repro resume --suite via --engine mbopc --workers 4 \
+        --store /tmp/spectra --journal sweep.journal
     python -m repro serve --suite via --count 4 --engine mbopc \
         --workers 2 --stats-json serve_stats.json
     python -m repro table --which 1 --scale smoke
@@ -29,6 +34,12 @@ split the clip list, rebuild the engine from the same config, share the
 kernel-spectra store, and stream results back while verification drains
 full shape bins concurrently (:mod:`repro.service.sharding`).  Sharded
 numbers are bit-for-bit identical to ``--workers 1``.
+
+Serving knobs: ``--retries N`` caps re-dispatch after infrastructure
+faults (worker crash, stall kill), ``--deadline S`` bounds each clip's
+wall-clock, and ``--journal PATH`` appends every admission and verified
+result to a crash-safe write-ahead log (:mod:`repro.service.journal`)
+that ``resume`` replays.
 
 The kernel-spectra store directory comes from ``--store`` or the
 ``REPRO_SPECTRA_STORE`` environment variable; with either set, fresh
@@ -96,6 +107,58 @@ def _parse_override(text: str) -> tuple[str, Any]:
             f"override {text!r} has an empty key"
         )
     return key, _coerce_override_value(raw)
+
+
+def _nonneg_int(text: str) -> int:
+    """Argparse type for ``--retries``: a non-negative integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {value}"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """Argparse type for ``--deadline``: a positive number of seconds."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {text!r}"
+        ) from None
+    if not value > 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {value}"
+        )
+    return value
+
+
+def _write_json(path: str, payload: Any) -> None:
+    """Atomic JSON dump: temp file in the destination directory, then
+    ``os.replace`` — a killed CLI never leaves a torn half-written file
+    where a monitoring script expects parseable output."""
+    import tempfile
+
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".tmp-json-")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True,
+                      default=str)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def _build_clips(args) -> list:
@@ -168,12 +231,20 @@ def cmd_optimize(args) -> int:
         raise ReproError(f"--workers must be >= 1, got {args.workers}")
     overrides = dict(args.opt or [])
     verify = not args.no_verify
-    if args.workers > 1:
+    shard_kwargs: dict[str, Any] = {}
+    if args.retries is not None:
+        shard_kwargs["retries"] = args.retries
+    if args.deadline is not None:
+        shard_kwargs["deadline_s"] = args.deadline
+    if args.workers > 1 or args.journal:
         # Process-sharded sweep: N spawned workers share the spectra
         # store and stream outcomes back for overlapped verification.
+        # --journal routes here even at --workers 1: journaling needs
+        # the spawnable EngineSpec whose fingerprint stamps each record.
         results = service.run_suite_sharded(
             args.engine, clips, workers=args.workers,
             engine_overrides=overrides, verify=verify,
+            journal=args.journal, **shard_kwargs,
         )
     else:
         for clip in clips:
@@ -212,6 +283,9 @@ def cmd_optimize(args) -> int:
         store = stats["spectra_store"]
         print(f"spectra store: {store['root']} "
               f"(hits {store['hits']}, writes {store['writes']})")
+    if args.journal:
+        print(f"journal: {args.journal} (resume with `python -m repro "
+              f"resume --journal {args.journal} ...`)")
 
     if args.json:
         payload = {
@@ -225,9 +299,74 @@ def cmd_optimize(args) -> int:
             "service_stats": stats,
             "version": __version__,
         }
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        _write_json(args.json, payload)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_resume(args) -> int:
+    """Finish an interrupted journaled run: replay completed clips from
+    the journal, re-dispatch only the remainder, print the merged
+    suite."""
+    from repro.litho.simulator import LithoConfig
+    from repro.service import MaskOptService, resume_suite
+
+    config = LithoConfig(
+        pixel_nm=args.pixel_nm,
+        max_kernels=args.max_kernels,
+        fft_backend=args.fft_backend,
+        spectra_store=_store_root(args),
+    )
+    service = MaskOptService(litho_config=config)
+    clips = _build_clips(args)
+    if not clips:
+        raise ReproError("no clips selected")
+    if args.workers < 1:
+        raise ReproError(f"--workers must be >= 1, got {args.workers}")
+    overrides = dict(args.opt or [])
+    run_kwargs: dict[str, Any] = {}
+    if args.retries is not None:
+        run_kwargs["retries"] = args.retries
+    if args.deadline is not None:
+        run_kwargs["deadline_s"] = args.deadline
+    results, replayed = resume_suite(
+        service, args.engine, clips, args.journal,
+        workers=args.workers, engine_overrides=overrides,
+        verify=not args.no_verify, **run_kwargs,
+    )
+    print(f"repro resume: engine={args.engine} suite={args.suite} "
+          f"clips={len(clips)} workers={args.workers} "
+          f"journal={args.journal}")
+    print(f"replayed {replayed} completed clip(s) from the journal, "
+          f"re-ran {len(clips) - replayed}")
+    print(f"{'clip':12s} {'EPE (nm)':>10s} {'PVB (nm^2)':>12s} "
+          f"{'RT (s)':>8s} {'steps':>5s}  verified")
+    verified_marks = {"verified": "ok", "unverified": "-",
+                      "unverifiable": "n/a"}
+    for result in results:
+        verified = verified_marks.get(result.outcome, result.outcome)
+        print(
+            f"{result.clip_name:12s} {result.epe_nm:10.3f} "
+            f"{result.pvband_nm2:12.1f} {result.runtime_s:8.2f} "
+            f"{result.steps:5d}  {verified}"
+        )
+    total_epe = sum(result.epe_nm for result in results)
+    total_rt = sum(result.runtime_s for result in results)
+    print(f"{'total':12s} {total_epe:10.3f} {'':12s} {total_rt:8.2f}")
+    if args.json:
+        payload = {
+            "command": "resume",
+            "engine": args.engine,
+            "suite": args.suite,
+            "workers": args.workers,
+            "engine_overrides": overrides,
+            "journal": args.journal,
+            "replayed": replayed,
+            "results": [result.to_dict() for result in results],
+            "totals": {"epe_nm": total_epe, "runtime_s": total_rt},
+            "version": __version__,
+        }
+        _write_json(args.json, payload)
         print(f"wrote {args.json}")
     return 0
 
@@ -256,12 +395,20 @@ def cmd_serve(args) -> int:
     overrides = dict(args.opt or [])
     verify = not args.no_verify
 
+    daemon_kwargs: dict[str, Any] = {}
+    if args.retries is not None:
+        daemon_kwargs["retries"] = args.retries
+    if args.deadline is not None:
+        daemon_kwargs["deadline_s"] = args.deadline
+
     async def run():
         daemon = MaskOptDaemon(
             litho_config=config,
             workers=args.workers,
             dispatch=args.dispatch,
             max_pending=args.max_pending,
+            journal=args.journal,
+            **daemon_kwargs,
         )
         async with daemon:
             tickets = []
@@ -304,6 +451,8 @@ def cmd_serve(args) -> int:
           f"{stats['rejected']} shed by admission control")
     print(f"verification: {service_stats['verify_items']} masks in "
           f"{service_stats['verify_batch_calls']} batched litho calls")
+    if args.journal:
+        print(f"journal: {args.journal}")
     if args.stats_json:
         payload = {
             "command": "serve",
@@ -315,10 +464,7 @@ def cmd_serve(args) -> int:
             "daemon_stats": stats,
             "version": __version__,
         }
-        with open(args.stats_json, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True,
-                      default=str)
-            handle.write("\n")
+        _write_json(args.stats_json, payload)
         print(f"wrote {args.stats_json}")
     return 0
 
@@ -391,6 +537,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="kernel-spectra store directory "
                             "(default: $REPRO_SPECTRA_STORE)")
 
+    def add_delivery_knobs(p) -> None:
+        p.add_argument("--retries", type=_nonneg_int, default=None,
+                       metavar="N",
+                       help="re-dispatch attempts after an infrastructure "
+                            "fault (worker crash, stall kill) per clip "
+                            "(default 2; engine exceptions never retry)")
+        p.add_argument("--deadline", type=_positive_float, default=None,
+                       metavar="SECONDS",
+                       help="per-clip wall-clock budget from dispatch "
+                            "(default: none)")
+        p.add_argument("--journal", default=None, metavar="PATH",
+                       help="append admissions and verified results to a "
+                            "crash-safe journal; finish an interrupted "
+                            "run with `python -m repro resume`")
+
     opt = sub.add_parser(
         "optimize", help="optimize a clip suite through the service"
     )
@@ -415,9 +576,49 @@ def build_parser() -> argparse.ArgumentParser:
     opt.add_argument("--no-verify", action="store_true",
                      help="skip the batched re-simulation cross-check")
     opt.add_argument("--json", default=None, metavar="PATH",
-                     help="write machine-readable results to PATH")
+                     help="write machine-readable results to PATH "
+                          "(atomic write)")
+    add_delivery_knobs(opt)
     add_litho_knobs(opt, max_kernels_default=6)
     opt.set_defaults(func=cmd_optimize)
+
+    resume = sub.add_parser(
+        "resume",
+        help="finish an interrupted --journal run from its journal",
+    )
+    resume.add_argument("--engine", default="mbopc",
+                        help="registry engine name (must match the "
+                             "journaled run)")
+    resume.add_argument("--suite", default="tiny",
+                        choices=["tiny", "via", "metal"],
+                        help="clip source (must match the journaled run)")
+    resume.add_argument("--count", type=int, default=0,
+                        help="limit the number of clips (0 = suite default)")
+    resume.add_argument("--names", default=None,
+                        help="comma-separated clip names to keep "
+                             "(via/metal)")
+    resume.add_argument("--opt", action="append", type=_parse_override,
+                        metavar="KEY=VALUE",
+                        help="engine config override (must match the "
+                             "journaled run)")
+    resume.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="workers for the re-dispatched remainder")
+    resume.add_argument("--no-verify", action="store_true",
+                        help="skip the batched re-simulation cross-check")
+    resume.add_argument("--json", default=None, metavar="PATH",
+                        help="write machine-readable results to PATH "
+                             "(atomic write)")
+    resume.add_argument("--journal", required=True, metavar="PATH",
+                        help="outcome journal of the interrupted run")
+    resume.add_argument("--retries", type=_nonneg_int, default=None,
+                        metavar="N",
+                        help="re-dispatch attempts after an "
+                             "infrastructure fault (default 2)")
+    resume.add_argument("--deadline", type=_positive_float, default=None,
+                        metavar="SECONDS",
+                        help="per-clip wall-clock budget (default: none)")
+    add_litho_knobs(resume, max_kernels_default=6)
+    resume.set_defaults(func=cmd_resume)
 
     serve = sub.add_parser(
         "serve", help="run the suite through the always-on async daemon"
@@ -448,7 +649,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-verify", action="store_true",
                        help="skip the batched re-simulation cross-check")
     serve.add_argument("--stats-json", default=None, metavar="PATH",
-                       help="write results + serving metrics JSON to PATH")
+                       help="write results + serving metrics JSON to PATH "
+                            "(atomic write)")
+    add_delivery_knobs(serve)
     add_litho_knobs(serve, max_kernels_default=6)
     serve.set_defaults(func=cmd_serve)
 

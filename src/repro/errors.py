@@ -64,3 +64,31 @@ class ServiceBusy(ServiceError):
     """Admission control rejected a request: the tenant's queue is at its
     bounded depth.  Callers should back off and resubmit — the daemon
     sheds load explicitly instead of buffering without bound."""
+
+
+class RetriesExhausted(ServiceError):
+    """A request's task kept hitting infrastructure faults (worker
+    crashes, stall kills) until its retry budget ran out.  Distinct from
+    a generic :class:`ServiceError` so callers can tell "the
+    infrastructure gave up after N attempts" from "the request itself
+    was bad"."""
+
+
+class DeadlineExceeded(ServiceError):
+    """A request's per-request deadline elapsed before its task
+    completed (queued, running, or retrying).  The task's eventual
+    late result, if any, is discarded — deduplicated by ticket — so a
+    deadline failure can never be followed by a surprise success."""
+
+
+class FaultInjected(ServiceError):
+    """Raised by a :class:`repro.service.faults.FaultPlan` ``raise``
+    action at a named injection point — only ever seen in fault-
+    injection tests and chaos runs, never in production paths."""
+
+
+class JournalError(ServiceError):
+    """Outcome-journal failure: not a journal file, an engine
+    fingerprint that doesn't match the requested spec, or an append to
+    a closed journal.  (A *corrupt tail* is not an error — it is
+    truncated on open, by design.)"""

@@ -44,9 +44,12 @@ import numpy as np
 
 from repro.errors import LithoError
 
-STORE_FORMAT_VERSION = 1
+STORE_FORMAT_VERSION = 2
 """Bump when the on-disk layout or the spectra semantics change; entries
-with another version are ignored (treated as cold)."""
+with another version are ignored (treated as cold).  Version 2 added a
+content checksum over the array payloads — a bit-flipped entry (disk
+rot, foreign tools) is detected on load and rebuilt instead of silently
+corrupting every simulation that warms from it."""
 
 ORPHAN_TMP_MAX_AGE_S = 3600.0
 """Temp files older than this are presumed orphaned by a killed writer
@@ -122,6 +125,28 @@ def optics_fingerprint(kernel_set) -> str:
         json.dumps(payload, sort_keys=True).encode("utf-8")
     )
     return digest.hexdigest()[:20]
+
+
+def _entry_checksum(
+    shape, weights, band, subgrid, compact, sub_spectra
+) -> str:
+    """Content digest of one store entry: every metadata field plus the
+    raw bytes of both array payloads.  ``load`` recomputes and compares,
+    so a bit flip anywhere in the entry reads as a miss, never as
+    subtly-wrong spectra."""
+    digest = hashlib.sha256()
+    digest.update(json.dumps({
+        "version": STORE_FORMAT_VERSION,
+        "shape": [int(v) for v in shape],
+        "band": [int(v) for v in band],
+        "subgrid": [int(v) for v in subgrid],
+        "compact": bool(compact),
+    }, sort_keys=True).encode("utf-8"))
+    digest.update(np.ascontiguousarray(weights, dtype=np.float64).tobytes())
+    digest.update(
+        np.ascontiguousarray(sub_spectra, dtype=np.complex128).tobytes()
+    )
+    return digest.hexdigest()
 
 
 class KernelSpectraStore:
@@ -214,9 +239,18 @@ class KernelSpectraStore:
 
     # -- persistence --------------------------------------------------------
     def save(self, fingerprint: str, spectra) -> str:
-        """Persist one built :class:`GridBandSpectra` (atomic write)."""
+        """Persist one built :class:`GridBandSpectra` (atomic write,
+        content-checksummed)."""
+        # Local import: litho must not import the service package at
+        # module load (service builds on litho, not the reverse).
+        from repro.service.faults import corrupt_file, maybe_fault
+
         os.makedirs(self.root, exist_ok=True)
         path = self.entry_path(fingerprint, spectra.shape)
+        checksum = _entry_checksum(
+            spectra.shape, spectra.weights, spectra.band,
+            spectra.subgrid, spectra.compact, spectra.sub_spectra,
+        )
         fd, tmp_path = tempfile.mkstemp(
             dir=self.root, prefix=".tmp-spectra-", suffix=".npz"
         )
@@ -231,6 +265,7 @@ class KernelSpectraStore:
                     subgrid=np.asarray(spectra.subgrid, dtype=np.int64),
                     compact=bool(spectra.compact),
                     sub_spectra=spectra.sub_spectra,
+                    checksum=checksum,
                 )
             os.replace(tmp_path, path)
         except BaseException:
@@ -239,6 +274,11 @@ class KernelSpectraStore:
             except OSError:
                 pass
             raise
+        if maybe_fault("store.save", path) is not None:
+            # Mid-file lands in array payload: the kind of silent bit
+            # rot only the content checksum can catch (the zip layer
+            # parses fine, the numbers are just wrong).
+            corrupt_file(path, offset=os.path.getsize(path) // 2)
         with self._stats_lock:
             self.writes += 1
         return path
@@ -250,7 +290,9 @@ class KernelSpectraStore:
         rebuilds and overwrites it.
         """
         from repro.litho.kernels import GridBandSpectra, _band_indices
+        from repro.service.faults import maybe_fault
 
+        maybe_fault("store.load", fingerprint)
         key = (int(shape[0]), int(shape[1]))
         path = self.entry_path(fingerprint, key)
         try:
@@ -267,10 +309,15 @@ class KernelSpectraStore:
                 sub_spectra = np.asarray(
                     data["sub_spectra"], dtype=np.complex128
                 )
+                stored_checksum = str(data["checksum"])
             if sub_spectra.shape != (len(weights), *subgrid):
                 raise ValueError("stored sub_spectra shape mismatch")
             if len(band) != 2 or len(subgrid) != 2:
                 raise ValueError("stored band metadata malformed")
+            if _entry_checksum(
+                key, weights, band, subgrid, compact, sub_spectra
+            ) != stored_checksum:
+                raise ValueError("stored content checksum mismatch")
         except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
             # Concurrent readers/writers only ever observe a complete old
             # or complete new entry (atomic replace); everything else —

@@ -83,9 +83,28 @@ re-simulation); batching only amortizes transforms, it never changes a
 reported number.
 """
 
-from repro.errors import ServiceBusy, ServiceError
+from repro.errors import (
+    DeadlineExceeded,
+    FaultInjected,
+    JournalError,
+    RetriesExhausted,
+    ServiceBusy,
+    ServiceError,
+)
 from repro.service.api import OptRequest, OptResult
 from repro.service.daemon import MaskOptDaemon
+from repro.service.faults import (
+    FaultPlan,
+    FaultRule,
+    clear_fault_plan,
+    install_fault_plan,
+    maybe_fault,
+)
+from repro.service.journal import (
+    OutcomeJournal,
+    open_journal,
+    resume_suite,
+)
 from repro.service.registry import (
     available_engines,
     build_engine,
@@ -97,13 +116,17 @@ from repro.service.scheduler import (
     VerifyItem,
     final_mask_image,
 )
-from repro.service.service import MaskOptService, engine_epe_search_nm
+from repro.service.service import (
+    DEFAULT_RETRIES,
+    MaskOptService,
+    engine_epe_search_nm,
+)
 from repro.service.sharding import (
     EngineSpec,
     OptOutcome,
     ShardedSuiteRunner,
 )
-from repro.service.workqueue import Task, WorkStealingPool
+from repro.service.workqueue import Task, TaskEvent, WorkStealingPool
 
 __all__ = [
     "OptRequest",
@@ -112,6 +135,19 @@ __all__ = [
     "MaskOptDaemon",
     "ServiceBusy",
     "ServiceError",
+    "DeadlineExceeded",
+    "FaultInjected",
+    "JournalError",
+    "RetriesExhausted",
+    "DEFAULT_RETRIES",
+    "FaultPlan",
+    "FaultRule",
+    "clear_fault_plan",
+    "install_fault_plan",
+    "maybe_fault",
+    "OutcomeJournal",
+    "open_journal",
+    "resume_suite",
     "available_engines",
     "build_engine",
     "create_engine",
@@ -124,5 +160,6 @@ __all__ = [
     "OptOutcome",
     "ShardedSuiteRunner",
     "Task",
+    "TaskEvent",
     "WorkStealingPool",
 ]

@@ -45,6 +45,15 @@ class OptRequest:
         train_clips: Clips to train a registry-built engine on before its
             first optimization (engines without a ``train`` method, like
             MB-OPC and pixel ILT, reject non-empty values).
+        retries: Extra attempts the daemon may make after an
+            infrastructure fault (worker crash, stall kill) on this
+            request; ``None`` uses the daemon's default.  Engine
+            exceptions are never retried — deterministic engines fail
+            identically on every attempt.
+        deadline_s: Wall-clock budget from dispatch; once elapsed the
+            request fails with :class:`~repro.errors.DeadlineExceeded`
+            and any late result is discarded.  ``None`` (default) means
+            no deadline.
     """
 
     clip: Clip
@@ -54,6 +63,8 @@ class OptRequest:
     verify: bool = True
     epe_search_nm: float | None = None
     train_clips: tuple[Clip, ...] = ()
+    retries: int | None = None
+    deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.clip, Clip):
@@ -77,6 +88,17 @@ class OptRequest:
         if self.epe_search_nm is not None and self.epe_search_nm <= 0:
             raise ServiceError(
                 f"epe_search_nm must be positive, got {self.epe_search_nm}"
+            )
+        if self.retries is not None and (
+            not isinstance(self.retries, int) or self.retries < 0
+        ):
+            raise ServiceError(
+                f"retries must be a non-negative integer, got "
+                f"{self.retries!r}"
+            )
+        if self.deadline_s is not None and not self.deadline_s > 0:
+            raise ServiceError(
+                f"deadline_s must be positive, got {self.deadline_s!r}"
             )
 
     @property
@@ -163,3 +185,30 @@ class OptResult:
             "verified_epe_nm": self.verified_epe_nm,
             "outcome": self.outcome,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "OptResult":
+        """Rebuild a result from its :meth:`to_dict` form — the journal
+        replay path.  ``raw_outcome`` does not survive the round trip
+        (it was never serialized); everything the drift check certified
+        does."""
+        try:
+            return cls(
+                request_id=int(data["request_id"]),
+                clip_name=str(data["clip"]),
+                engine=str(data["engine"]),
+                epe_nm=float(data["epe_nm"]),
+                pvband_nm2=float(data["pvband_nm2"]),
+                runtime_s=float(data["runtime_s"]),
+                steps=int(data["steps"]),
+                early_exited=bool(data["early_exited"]),
+                verified_epe_nm=(
+                    None if data.get("verified_epe_nm") is None
+                    else float(data["verified_epe_nm"])
+                ),
+                outcome=str(data.get("outcome", "unverified")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(
+                f"bad OptResult record: {exc}"
+            ) from exc

@@ -78,10 +78,17 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, AsyncIterator, Iterable
 
-from repro.errors import MetrologyError, ServiceBusy, ServiceError
+from repro.errors import (
+    DeadlineExceeded,
+    MetrologyError,
+    RetriesExhausted,
+    ServiceBusy,
+    ServiceError,
+)
 from repro.litho.simulator import LithoConfig
 from repro.service.api import OptRequest, OptResult
-from repro.service.service import MaskOptService
+from repro.service.journal import open_journal
+from repro.service.service import DEFAULT_RETRIES, MaskOptService
 from repro.service.sharding import EngineSpec
 from repro.service.workqueue import (
     CRASH_GRACE_S,
@@ -104,6 +111,7 @@ class _TicketState:
 
     future: asyncio.Future
     tenant: str
+    fingerprint: str | None = None
 
 
 class MaskOptDaemon:
@@ -141,6 +149,11 @@ class MaskOptDaemon:
         start_method: str = DEFAULT_START_METHOD,
         grace_s: float = CRASH_GRACE_S,
         max_revives: int | None = None,
+        retries: int = DEFAULT_RETRIES,
+        deadline_s: float | None = None,
+        stall_timeout_s: float | None = None,
+        journal: Any = None,
+        fault_plan: Any = None,
     ) -> None:
         if service is not None and litho_config is not None:
             raise ServiceError(
@@ -180,6 +193,17 @@ class MaskOptDaemon:
         self.max_revives = (
             3 * self.workers if max_revives is None else int(max_revives)
         )
+        if retries < 0:
+            raise ServiceError(f"retries must be >= 0, got {retries}")
+        if deadline_s is not None and not deadline_s > 0:
+            raise ServiceError(
+                f"deadline_s must be > 0, got {deadline_s}"
+            )
+        self.retries = int(retries)
+        self.deadline_s = deadline_s
+        self.stall_timeout_s = stall_timeout_s
+        self.fault_plan = fault_plan
+        self._journal, self._journal_owned = open_journal(journal)
 
         self._state = "new"
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -210,7 +234,9 @@ class MaskOptDaemon:
         self._counter_lock = threading.Lock()
         self._counters = {
             "submitted": 0, "rejected": 0, "completed": 0, "failed": 0,
+            "retried": 0, "deadline_exceeded": 0, "retries_exhausted": 0,
         }
+        self._last_sweep = 0.0  # collector-thread-owned
 
     # -- lifecycle -----------------------------------------------------------
     async def start(self) -> "MaskOptDaemon":
@@ -283,6 +309,8 @@ class MaskOptDaemon:
         self._queued_count = 0
         with self._routed_lock:
             self._routed.clear()
+        if self._journal_owned and self._journal is not None:
+            self._journal.close()
         self._idle.set()
         self._state = "stopped"
 
@@ -329,8 +357,16 @@ class MaskOptDaemon:
             )
         (ticket,) = self.service._allocate_tickets(1)
         assert self._loop is not None
+        fingerprint = (
+            spec.fingerprint() if self._journal is not None else None
+        )
+        if self._journal is not None:
+            self._journal.log_admit(
+                ticket, request.clip, spec.label, fingerprint
+            )
         self._states[ticket] = _TicketState(
-            future=self._loop.create_future(), tenant=tenant
+            future=self._loop.create_future(), tenant=tenant,
+            fingerprint=fingerprint,
         )
         self._tenant_outstanding[tenant] = (
             self._tenant_outstanding.get(tenant, 0) + 1
@@ -396,6 +432,14 @@ class MaskOptDaemon:
                         clip=request.clip,
                         optimize_kwargs=dict(request.optimize_kwargs),
                         capture_mask=request.verify,
+                        retries=(
+                            self.retries if request.retries is None
+                            else request.retries
+                        ),
+                        deadline_s=(
+                            self.deadline_s if request.deadline_s is None
+                            else request.deadline_s
+                        ),
                     ), worker=worker)
                 except ServiceError as exc:
                     # The pool was torn down between lookup and submit
@@ -421,6 +465,8 @@ class MaskOptDaemon:
         pool = WorkStealingPool(
             spec, self.workers, start_method=self.start_method,
             dispatch=self.dispatch, relay=self._relay, grace_s=self.grace_s,
+            stall_timeout_s=self.stall_timeout_s,
+            fault_plan=self.fault_plan,
         )
         pool.start()
         with self._pools_lock:
@@ -430,7 +476,8 @@ class MaskOptDaemon:
     # -- collector thread ----------------------------------------------------
     def _collect(self) -> None:
         """Drain the shared relay of every pool: route payloads, fail
-        errored tickets, revive crashed workers."""
+        errored tickets, revive crashed workers, dispatch due retries,
+        and declare missed deadlines."""
         while True:
             try:
                 pool, message = self._relay.get(timeout=POLL_INTERVAL_S)
@@ -439,44 +486,85 @@ class MaskOptDaemon:
                     return
                 self._sweep_liveness()
                 continue
-            pool.observe(message)
+            fresh = pool.observe(message)
             kind, wid, task_id, payload = message
-            if kind == "ok":
+            if kind == "ok" and fresh:
                 entry = self._unroute(task_id)
-                if entry is None:
-                    continue
-                request, _ = entry
-                if request.verify:
-                    self._verify_inbox.put((task_id, request, payload))
-                else:
-                    self._finish(task_id, request, payload, {}, False)
-            elif kind == "error":
+                if entry is not None:
+                    request, _ = entry
+                    if request.verify:
+                        self._verify_inbox.put((task_id, request, payload))
+                    else:
+                        self._finish(task_id, request, payload, {}, False)
+            elif kind == "error" and fresh:
                 entry = self._unroute(task_id)
-                if entry is None:
-                    continue
-                request, _ = entry
-                self._resolve_soon(task_id, error=ServiceError(
-                    f"{request.engine_label} failed optimizing clip "
-                    f"{request.clip.name!r}: {payload}"
-                ))
+                if entry is not None:
+                    request, _ = entry
+                    self._resolve_soon(task_id, error=ServiceError(
+                        f"{request.engine_label} failed optimizing clip "
+                        f"{request.clip.name!r}: {payload}"
+                    ))
             elif kind in ("fatal", "corrupt"):
                 self._fail_pool(pool, kind, payload)
-            # "ready" / "exit" are liveness bookkeeping, folded in above.
+            # "ready" / "exit" are liveness bookkeeping, folded in above;
+            # a stale ok/error (fresh=False) was a duplicate from a retry
+            # race and is dropped so each ticket resolves exactly once.
+            # Steady message traffic must not starve retry dispatch,
+            # deadline scans, or crash detection.
+            if time.monotonic() - self._last_sweep >= POLL_INTERVAL_S:
+                self._sweep_liveness()
+
+    def _pump_pools(self) -> None:
+        """Dispatch due retries and surface missed deadlines on every
+        pool.  Collector-thread only."""
+        with self._pools_lock:
+            pools = list(self._pools.values())
+        for pool in pools:
+            for event in pool.pump():
+                if event.kind != "deadline":
+                    continue
+                task = event.task
+                self._unroute(task.task_id)
+                self._count("deadline_exceeded")
+                self._resolve_soon(task.task_id, error=DeadlineExceeded(
+                    f"request for clip {task.clip.name!r} "
+                    f"({pool.spec.label}) missed its {task.deadline_s}s "
+                    "deadline"
+                ))
 
     def _sweep_liveness(self) -> None:
-        """Idle poll: declare crashed workers, fail only the ticket each
-        one had claimed, and revive the slot — the daemon keeps serving."""
+        """Poll pass: declare crashed workers, requeue or fail the ticket
+        each one had claimed, revive the slot, and pump retry/deadline
+        state — the daemon keeps serving."""
+        self._last_sweep = time.monotonic()
+        self._pump_pools()
         with self._pools_lock:
             pools = list(self._pools.values())
         for pool in pools:
             for dead in pool.check_dead():
-                if dead.task is not None:
+                if dead.requeued:
+                    # The claimed task went back on the retry heap with
+                    # budget left; the ticket stays routed and will be
+                    # re-dispatched by pump() after its backoff.
+                    self._count("retried")
+                elif dead.task is not None:
                     self._unroute(dead.task.task_id)
-                    self._resolve_soon(dead.task.task_id, error=ServiceError(
-                        f"worker {dead.worker_id} ({pool.spec.label}) died "
-                        f"with exit code {dead.exitcode} while optimizing "
-                        f"clip {dead.task.clip.name!r}"
-                    ))
+                    if dead.task.retries > 0:
+                        self._count("retries_exhausted")
+                        error: ServiceError = RetriesExhausted(
+                            f"worker {dead.worker_id} ({pool.spec.label}) "
+                            f"died with exit code {dead.exitcode} while "
+                            f"optimizing clip {dead.task.clip.name!r}; "
+                            f"retries exhausted after "
+                            f"{dead.task.attempt + 1} attempts"
+                        )
+                    else:
+                        error = ServiceError(
+                            f"worker {dead.worker_id} ({pool.spec.label}) "
+                            f"died with exit code {dead.exitcode} while "
+                            f"optimizing clip {dead.task.clip.name!r}"
+                        )
+                    self._resolve_soon(dead.task.task_id, error=error)
                 if pool.stats()["workers_revived"] >= self.max_revives:
                     self._fail_pool(
                         pool, "crash",
@@ -553,11 +641,19 @@ class MaskOptDaemon:
                     time.monotonic() - oldest >= self.flush_max_wait_s
                 )
                 if self._quiescent() or overdue:
-                    self._drain_waiting(waiting, scheduler.flush(simulator))
+                    measured = self._flush_guard(
+                        waiting, lambda: scheduler.flush(simulator)
+                    )
+                    if measured:
+                        self._drain_waiting(waiting, measured)
                 continue
             if item is _VERIFIER_STOP:
                 if waiting:
-                    self._drain_waiting(waiting, scheduler.flush(simulator))
+                    measured = self._flush_guard(
+                        waiting, lambda: scheduler.flush(simulator)
+                    )
+                    if measured:
+                        self._drain_waiting(waiting, measured)
                 return
             ticket, request, payload = item
             search_nm = (
@@ -573,11 +669,31 @@ class MaskOptDaemon:
                 self._finish(ticket, request, payload, {}, True)
                 continue
             waiting[ticket] = (request, payload, time.monotonic())
-            measured = scheduler.flush_ready(
-                simulator, min_bin=self.stream_min_bin
+            measured = self._flush_guard(
+                waiting,
+                lambda: scheduler.flush_ready(
+                    simulator, min_bin=self.stream_min_bin
+                ),
             )
             if measured:
                 self._drain_waiting(waiting, measured)
+
+    def _flush_guard(self, waiting: dict, flush) -> dict | None:
+        """Run one scheduler flush; a failure (injected fault, simulator
+        error) fails every waiting ticket instead of killing the
+        verifier thread — the daemon keeps serving, and the scheduler is
+        purged of the doomed masks so later flushes don't inherit them."""
+        try:
+            return flush()
+        except Exception as exc:
+            self.service.scheduler.discard(tuple(waiting))
+            for ticket, (request, _, _) in list(waiting.items()):
+                self._resolve_soon(ticket, error=ServiceError(
+                    f"verification flush failed for clip "
+                    f"{request.clip.name!r}: {exc}"
+                ))
+            waiting.clear()
+            return None
 
     def _quiescent(self) -> bool:
         """Nothing queued or in flight — no more masks are coming to fill
@@ -631,6 +747,17 @@ class MaskOptDaemon:
         if state is None:
             return
         self._tenant_outstanding[state.tenant] -= 1
+        if (
+            error is None
+            and state.fingerprint is not None
+            and self._journal is not None
+        ):
+            # Durability gate: the caller's future only reports success
+            # once the verified result is fsync'd in the journal.
+            try:
+                self._journal.log_result(ticket, result, state.fingerprint)
+            except ServiceError as exc:
+                result, error = None, exc
         future = state.future
         if not future.done():
             if error is not None:
@@ -720,13 +847,15 @@ class MaskOptDaemon:
             }
             for tenant in self._tenant_rr
         }
-        return {
+        out = {
             "state": self._state,
             "dispatch": self.dispatch,
             "workers_per_pool": self.workers,
             "max_pending": self.max_pending,
             "pool_backlog": self.pool_backlog,
             "stream_min_bin": self.stream_min_bin,
+            "retries": self.retries,
+            "deadline_s": self.deadline_s,
             **counters,
             "queued": self._queued_count,
             "in_flight": in_flight,
@@ -734,3 +863,6 @@ class MaskOptDaemon:
             "pools": pool_stats,
             "service": self.service.stats(),
         }
+        if self._journal is not None:
+            out["journal"] = self._journal.stats()
+        return out

@@ -158,3 +158,19 @@ def spec_label(spec: str | EngineFactory) -> str:
     if isinstance(spec, str):
         return spec
     return getattr(spec, "__name__", type(spec).__name__)
+
+
+def overrides_key(
+    overrides: Mapping[str, Any] | None,
+) -> tuple[tuple[str, str], ...]:
+    """Canonical hashable key for an override mapping: sorted
+    ``(name, repr(value))`` pairs.
+
+    One definition for every identity built on overrides — the daemon's
+    pool cache key, :class:`~repro.service.sharding.EngineSpec`
+    normalization, and the journal's engine fingerprint all must agree,
+    or "same spec" would mean different things to different layers.
+    """
+    return tuple(
+        sorted((str(k), repr(v)) for k, v in dict(overrides or {}).items())
+    )

@@ -45,6 +45,7 @@ from repro.geometry.raster import Grid, rasterize
 from repro.geometry.segmentation import fragment_clip
 from repro.litho.simulator import LithographySimulator
 from repro.metrology.epe import measure_epe_grouped
+from repro.service.faults import maybe_fault
 
 
 def final_mask_image(outcome, grid: Grid) -> np.ndarray | None:
@@ -199,6 +200,7 @@ class ShapeBinScheduler:
         measured: dict[Hashable, float] = {}
         threshold = simulator.config.threshold
         for key in keys:
+            maybe_fault("verifier.flush", str(key))
             with self._lock:
                 members = self._bins.pop(key, None)
             if not members:

@@ -40,9 +40,14 @@ from repro.errors import MetrologyError, ServiceError
 from repro.geometry.layout import Clip
 from repro.litho.simulator import LithoConfig, LithographySimulator
 from repro.service.api import OptRequest, OptResult
+from repro.service.journal import open_journal
 from repro.service.registry import build_engine, engine_epe_search_nm
 from repro.service.scheduler import ShapeBinScheduler
 from repro.service.sharding import EngineSpec, ShardedSuiteRunner
+
+DEFAULT_RETRIES = 2
+"""Default per-request retry budget for infrastructure faults on the
+sharded/daemon paths (engine exceptions are never retried)."""
 
 _VERIFY_TOLERANCE_NM = 1e-6
 
@@ -179,6 +184,9 @@ class MaskOptService:
         verify: bool = True,
         workers: int | None = None,
         stream_min_bin: int | None = None,
+        retries: int = DEFAULT_RETRIES,
+        deadline_s: float | None = None,
+        journal: Any = None,
         **optimize_kwargs,
     ) -> dict:
         """Run several engines over one suite, parallelized two ways.
@@ -221,20 +229,32 @@ class MaskOptService:
         if not clip_list:
             raise ServiceError("map_suite needs at least one clip")
 
-        if workers is not None and workers > 1:
-            suites: dict[str, SuiteResult] = {}
-            for label, spec in specs.items():
-                name, overrides = self._shardable_spec(label, spec)
-                results = self.run_suite_sharded(
-                    name, clip_list, workers=workers,
-                    engine_overrides=overrides, verify=verify,
-                    stream_min_bin=stream_min_bin, **optimize_kwargs,
-                )
-                suite = SuiteResult(engine=label)
-                for result in results:
-                    suite.add(result.to_row())
-                suites[label] = suite
-            return suites
+        # A journal implies the sharded (spec-buildable) path even at
+        # workers=1: journal records are keyed by the EngineSpec
+        # fingerprint, which engine *instances* (threaded path) cannot
+        # provide.
+        if (workers is not None and workers > 1) or journal is not None:
+            workers = max(1, int(workers or 1))
+            journal_obj, journal_owned = open_journal(journal)
+            try:
+                suites: dict[str, SuiteResult] = {}
+                for label, spec in specs.items():
+                    name, overrides = self._shardable_spec(label, spec)
+                    results = self.run_suite_sharded(
+                        name, clip_list, workers=workers,
+                        engine_overrides=overrides, verify=verify,
+                        stream_min_bin=stream_min_bin, retries=retries,
+                        deadline_s=deadline_s, journal=journal_obj,
+                        **optimize_kwargs,
+                    )
+                    suite = SuiteResult(engine=label)
+                    for result in results:
+                        suite.add(result.to_row())
+                    suites[label] = suite
+                return suites
+            finally:
+                if journal_owned:
+                    journal_obj.close()
 
         # Resolve (and train) engines up front, in label order, on the
         # calling thread — construction order stays deterministic.
@@ -329,6 +349,11 @@ class MaskOptService:
         verify: bool = True,
         stream_min_bin: int | None = None,
         dispatch: str = "steal",
+        retries: int = DEFAULT_RETRIES,
+        deadline_s: float | None = None,
+        stall_timeout_s: float | None = None,
+        journal: Any = None,
+        fault_plan: Any = None,
         **optimize_kwargs,
     ) -> list[OptResult]:
         """Sweep one engine over a suite with N worker processes,
@@ -356,6 +381,25 @@ class MaskOptService:
         ``raw_outcome`` of each is the streamed picklable
         :class:`~repro.service.sharding.OptOutcome`, not the engine's
         in-process outcome object.
+
+        Delivery semantics: a worker that crashes (or is stall-killed)
+        mid-clip has its task re-dispatched up to ``retries`` times with
+        exponential backoff — deterministic engines make the retried
+        outcome bit-for-bit identical; out of budget the sweep fails
+        with :class:`~repro.errors.RetriesExhausted`.  Engine
+        *exceptions* are never retried (they would fail identically) and
+        surface immediately.  ``deadline_s`` bounds each clip's
+        wall-clock from submission (:class:`~repro.errors.
+        DeadlineExceeded`); ``stall_timeout_s`` kills a worker whose
+        claim sits unchanged that long, converting hangs into retriable
+        crashes.
+
+        ``journal`` (an :class:`~repro.service.journal.OutcomeJournal`
+        or a path) logs every admission up front and every clip's result
+        the moment its verification lands, fsync'd — a killed sweep
+        keeps its completed clips and
+        :func:`~repro.service.journal.resume_suite` re-runs only the
+        rest.
 
         Note that ``**optimize_kwargs`` shares the signature with the
         named parameters above (as with ``map_suite``): an engine whose
@@ -395,29 +439,61 @@ class MaskOptService:
             for clip in clip_list
         ]
         measured: dict[int, float] = {}
+        journal_obj, journal_owned = open_journal(journal)
+        fingerprint = spec.fingerprint() if journal_obj is not None else None
+        arrived: dict[int, Any] = {}
+        journaled: set[int] = set()
+
+        def journal_ready() -> None:
+            """Log every arrived clip whose result is final: verified
+            (measurement landed) or exempt (verify off).  Runs the same
+            single-result assembly (including the drift check) the
+            terminal pass will — a journaled record is a *certified*
+            record, durable the moment its verification flushes, so a
+            SIGKILL later in the sweep cannot take it back."""
+            if journal_obj is None:
+                return
+            for index, payload in arrived.items():
+                ticket = tickets[index]
+                if index in journaled or (verify and ticket not in measured):
+                    continue
+                (result,) = self._assemble(
+                    [(ticket, requests[index], payload)], measured, verify,
+                )
+                journal_obj.log_result(ticket, result, fingerprint)
+                journaled.add(index)
 
         def on_outcome(index: int, payload) -> None:
-            if not verify:
-                return
-            added = self.scheduler.add_outcome(
-                tickets[index], clip_list[index], payload, self.simulator,
-                payload.epe_search_nm,
-            )
-            if added:
-                measured.update(
-                    self.scheduler.flush_ready(
-                        self.simulator, min_bin=stream_min_bin
-                    )
+            arrived[index] = payload
+            if verify:
+                added = self.scheduler.add_outcome(
+                    tickets[index], clip_list[index], payload,
+                    self.simulator, payload.epe_search_nm,
                 )
+                if added:
+                    measured.update(
+                        self.scheduler.flush_ready(
+                            self.simulator, min_bin=stream_min_bin
+                        )
+                    )
+            journal_ready()
 
-        runner = ShardedSuiteRunner(spec, workers, dispatch=dispatch)
+        runner = ShardedSuiteRunner(
+            spec, workers, dispatch=dispatch, retries=retries,
+            deadline_s=deadline_s, stall_timeout_s=stall_timeout_s,
+            fault_plan=fault_plan,
+        )
         try:
+            if journal_obj is not None:
+                for ticket, clip in zip(tickets, clip_list):
+                    journal_obj.log_admit(ticket, clip, label, fingerprint)
             payloads = runner.run(
                 clip_list, optimize_kwargs, on_outcome=on_outcome,
                 capture_masks=verify,
             )
             if verify:
                 measured.update(self.scheduler.flush(self.simulator))
+            journal_ready()
             executed = [
                 (ticket, request, payload)
                 for ticket, request, payload
@@ -431,6 +507,9 @@ class MaskOptService:
             # doesn't re-simulate stale masks next pass.
             self.scheduler.discard(tickets)
             raise
+        finally:
+            if journal_owned:
+                journal_obj.close()
 
     # -- shared tail: verification + result assembly --------------------------
     def _finalize(

@@ -47,27 +47,40 @@ a shared :class:`~repro.service.workqueue.WorkStealingPool` queue:
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.errors import ServiceError
+from repro.errors import DeadlineExceeded, RetriesExhausted, ServiceError
 from repro.geometry.layout import Clip
 from repro.litho.simulator import LithoConfig, LithographySimulator
 from repro.service.registry import (
     build_engine,
     engine_epe_search_nm,
+    overrides_key,
     spec_label,
 )
 from repro.service.scheduler import final_mask_image
 from repro.service.workqueue import (
+    CRASH_GRACE_S,
     DEFAULT_START_METHOD,
     POLL_INTERVAL_S,
+    RETRY_BACKOFF_S,
     DeadWorker,
     Task,
     WorkStealingPool,
 )
+
+FINGERPRINT_EXCLUDED_LITHO_FIELDS = (
+    "fft_backend", "fft_workers", "spectra_store",
+)
+"""Deployment knobs that change *where/how fast* the numbers are
+computed, never the numbers themselves — two specs differing only here
+produce bit-for-bit identical results and must share a fingerprint (so
+a journal written on a scipy-backend host resumes on a numpy one)."""
 
 
 @dataclass(frozen=True)
@@ -167,6 +180,30 @@ class EngineSpec:
     def label(self) -> str:
         return spec_label(self.engine)
 
+    def fingerprint(self) -> str:
+        """Stable 16-hex-digit identity of the *numbers* this spec
+        produces: engine label + overrides + litho physics + seed.
+
+        This is the key the outcome journal stamps on every record, so
+        ``resume`` can refuse to merge results computed under a different
+        spec.  Deployment knobs that cannot change a result
+        (:data:`FINGERPRINT_EXCLUDED_LITHO_FIELDS`) are excluded —
+        moving a journal between hosts with different FFT backends or
+        store paths must not orphan it.
+        """
+        parts = [f"engine={self.label}", f"seed={self.seed!r}"]
+        parts.extend(
+            f"opt.{name}={value!r}" for name, value in
+            overrides_key(dict(self.overrides))
+        )
+        parts.extend(
+            f"litho.{field_.name}={getattr(self.litho, field_.name)!r}"
+            for field_ in dataclasses.fields(self.litho)
+            if field_.name not in FINGERPRINT_EXCLUDED_LITHO_FIELDS
+        )
+        digest = hashlib.sha256("|".join(parts).encode("utf-8"))
+        return digest.hexdigest()[:16]
+
     def build(self) -> tuple[Any, LithographySimulator]:
         """Construct the (engine, simulator) pair this spec describes
         (pure: seeding, when requested, is applied by the worker entry
@@ -197,6 +234,13 @@ class ShardedSuiteRunner:
         workers: int,
         start_method: str = DEFAULT_START_METHOD,
         dispatch: str = "steal",
+        retries: int = 0,
+        deadline_s: float | None = None,
+        stall_timeout_s: float | None = None,
+        grace_s: float = CRASH_GRACE_S,
+        retry_backoff_s: float = RETRY_BACKOFF_S,
+        fault_plan=None,
+        max_revives: int | None = None,
     ) -> None:
         if not isinstance(spec, EngineSpec):
             raise ServiceError(
@@ -205,10 +249,26 @@ class ShardedSuiteRunner:
             )
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
+        if retries < 0:
+            raise ServiceError(f"retries must be >= 0, got {retries}")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ServiceError(
+                f"deadline_s must be > 0, got {deadline_s}"
+            )
         self.spec = spec
         self.workers = int(workers)
         self.start_method = start_method
         self.dispatch = dispatch
+        self.retries = int(retries)
+        self.deadline_s = deadline_s
+        self.stall_timeout_s = stall_timeout_s
+        self.grace_s = float(grace_s)
+        self.retry_backoff_s = float(retry_backoff_s)
+        self.fault_plan = fault_plan
+        self.max_revives = (
+            3 * self.workers if max_revives is None else int(max_revives)
+        )
+        self.last_pool_stats: dict[str, Any] | None = None
 
     # -- in-process fallback -------------------------------------------------
     def _run_inline(
@@ -282,9 +342,13 @@ class ShardedSuiteRunner:
         # hanging.
         pool = WorkStealingPool(
             self.spec, workers, start_method=self.start_method,
-            dispatch=self.dispatch,
+            dispatch=self.dispatch, grace_s=self.grace_s,
+            fault_plan=self.fault_plan,
+            stall_timeout_s=self.stall_timeout_s,
+            retry_backoff_s=self.retry_backoff_s,
         )
         outcomes: list[OptOutcome | None] = [None] * len(clip_list)
+        revives_used = 0
         try:
             pool.start()
             for index, clip in enumerate(clip_list):
@@ -292,6 +356,7 @@ class ShardedSuiteRunner:
                     Task(
                         task_id=index, clip=clip, optimize_kwargs=kwargs,
                         capture_mask=capture_masks,
+                        retries=self.retries, deadline_s=self.deadline_s,
                     ),
                     worker=(
                         index % workers if self.dispatch == "static" else None
@@ -301,40 +366,82 @@ class ShardedSuiteRunner:
             while pending > 0:
                 message = pool.get_message(timeout=POLL_INTERVAL_S)
                 if message is None:
-                    for dead in pool.check_dead():
-                        raise self._death_error(dead)
-                    continue
-                pool.observe(message)
-                kind, wid, task_id, payload = message
-                if kind == "ok":
-                    outcomes[task_id] = payload
-                    pending -= 1
-                    if on_outcome is not None:
-                        on_outcome(task_id, payload)
-                elif kind == "error":
-                    clip = clip_list[task_id]
-                    raise ServiceError(
-                        f"shard worker {wid} failed optimizing clip "
-                        f"{clip.name!r} ({self.spec.label}): {payload}"
-                    )
-                elif kind == "fatal":
-                    raise ServiceError(
-                        f"shard worker {wid} could not build engine "
-                        f"{self.spec.label!r}: {payload}"
-                    )
-                elif kind == "corrupt":
-                    raise ServiceError(
-                        f"shard result stream corrupted "
-                        f"({self.spec.label}): {payload}"
-                    )
-                # "ready" / "claim" / "exit" are liveness bookkeeping,
-                # already folded in by pool.observe.
+                    revives_used = self._handle_deaths(pool, revives_used)
+                else:
+                    fresh = pool.observe(message)
+                    kind, wid, task_id, payload = message
+                    if not fresh:
+                        pass  # late sibling of a retried/deadlined task
+                    elif kind == "ok":
+                        outcomes[task_id] = payload
+                        pending -= 1
+                        if on_outcome is not None:
+                            on_outcome(task_id, payload)
+                    elif kind == "error":
+                        # Engine exceptions are deterministic — a retry
+                        # would fail identically, so surface immediately.
+                        clip = clip_list[task_id]
+                        raise ServiceError(
+                            f"shard worker {wid} failed optimizing clip "
+                            f"{clip.name!r} ({self.spec.label}): {payload}"
+                        )
+                    elif kind == "fatal":
+                        raise ServiceError(
+                            f"shard worker {wid} could not build engine "
+                            f"{self.spec.label!r}: {payload}"
+                        )
+                    elif kind == "corrupt":
+                        raise ServiceError(
+                            f"shard result stream corrupted "
+                            f"({self.spec.label}): {payload}"
+                        )
+                    # "ready" / "exit" are liveness bookkeeping, already
+                    # folded in by pool.observe.
+                for event in pool.pump():
+                    if event.kind == "deadline":
+                        raise DeadlineExceeded(
+                            f"clip {event.task.clip.name!r} "
+                            f"({self.spec.label}) missed its "
+                            f"{event.task.deadline_s}s deadline; "
+                            "sweep aborted"
+                        )
         except BaseException:
+            self.last_pool_stats = pool.stats()
             pool.shutdown(graceful=False)
             raise
+        self.last_pool_stats = pool.stats()
         pool.shutdown(graceful=True)
         assert all(outcome is not None for outcome in outcomes)
         return outcomes  # type: ignore[return-value]
+
+    def _handle_deaths(
+        self, pool: WorkStealingPool, revives_used: int
+    ) -> int:
+        """Fold dead-worker verdicts into the sweep: revive workers whose
+        task was requeued (or who died idle — e.g. crashed *after* their
+        result landed), fail the sweep when a task is out of retries or
+        the revive budget is spent."""
+        for dead in pool.check_dead():
+            if dead.task is not None and not dead.requeued:
+                if dead.task.retries > 0:
+                    raise RetriesExhausted(
+                        f"shard worker {dead.worker_id} ({self.spec.label}) "
+                        f"died with exit code {dead.exitcode} while "
+                        f"optimizing clip {dead.task.clip.name!r}; retries "
+                        f"exhausted after {dead.task.attempt + 1} attempts; "
+                        "sweep aborted"
+                    )
+                raise self._death_error(dead)
+            if revives_used >= self.max_revives:
+                raise ServiceError(
+                    f"shard pool ({self.spec.label}) lost its workers "
+                    f"repeatedly ({revives_used} revivals); worker "
+                    f"{dead.worker_id} died with exit code "
+                    f"{dead.exitcode}; sweep aborted"
+                )
+            pool.revive(dead.worker_id)
+            revives_used += 1
+        return revives_used
 
     def _death_error(self, dead: DeadWorker) -> ServiceError:
         """A worker died without a clean ``exit`` message."""

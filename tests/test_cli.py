@@ -1,0 +1,124 @@
+"""Unit tests for the ``python -m repro`` command line (repro/__main__.py):
+argument validation for the delivery knobs (``--retries``, ``--deadline``,
+``--journal``), the atomic ``--json`` writer, and the ``resume``
+subcommand's refusal paths."""
+
+import argparse
+import json
+import os
+
+import pytest
+
+from repro.__main__ import (
+    _nonneg_int,
+    _positive_float,
+    _write_json,
+    build_parser,
+    main,
+)
+from repro.service import OutcomeJournal
+
+
+class TestArgTypes:
+    def test_nonneg_int_accepts(self):
+        assert _nonneg_int("0") == 0
+        assert _nonneg_int("7") == 7
+
+    @pytest.mark.parametrize("bad", ["-1", "2.5", "abc", ""])
+    def test_nonneg_int_rejects(self, bad):
+        with pytest.raises(argparse.ArgumentTypeError,
+                           match="non-negative integer"):
+            _nonneg_int(bad)
+
+    def test_positive_float_accepts(self):
+        assert _positive_float("0.5") == 0.5
+        assert _positive_float("120") == 120.0
+
+    @pytest.mark.parametrize("bad", ["0", "-3", "nan", "oops", ""])
+    def test_positive_float_rejects(self, bad):
+        # "nan" matters: `nan > 0` is False, so it must land in the
+        # rejection branch rather than configuring a NaN deadline.
+        with pytest.raises(argparse.ArgumentTypeError,
+                           match="positive number"):
+            _positive_float(bad)
+
+
+class TestParser:
+    def test_delivery_knobs_parse(self):
+        args = build_parser().parse_args([
+            "optimize", "--retries", "3", "--deadline", "1.5",
+            "--journal", "run.journal",
+        ])
+        assert args.retries == 3
+        assert args.deadline == 1.5
+        assert args.journal == "run.journal"
+
+    def test_delivery_knobs_default_to_service_policy(self):
+        args = build_parser().parse_args(["optimize"])
+        assert args.retries is None
+        assert args.deadline is None
+        assert args.journal is None
+
+    @pytest.mark.parametrize("argv", [
+        ["optimize", "--retries", "-1"],
+        ["optimize", "--deadline", "0"],
+        ["serve", "--retries", "nope"],
+        ["serve", "--deadline", "-2.5"],
+        ["resume", "--journal", "x", "--retries", "1.5"],
+    ])
+    def test_bad_delivery_values_exit_with_usage(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(argv)
+        assert excinfo.value.code == 2
+        assert "expected a" in capsys.readouterr().err
+
+    def test_resume_requires_journal(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["resume"])
+        assert excinfo.value.code == 2
+        assert "--journal" in capsys.readouterr().err
+
+
+class TestWriteJson:
+    def test_atomic_write_round_trip(self, tmp_path):
+        path = tmp_path / "out.json"
+        _write_json(str(path), {"b": 2, "a": [1, 2]})
+        text = path.read_text()
+        assert json.loads(text) == {"a": [1, 2], "b": 2}
+        assert text.index('"a"') < text.index('"b"')  # sorted, diffable
+        assert not [n for n in os.listdir(tmp_path)
+                    if n.startswith(".tmp-json-")]
+
+    def test_failed_write_leaves_no_debris(self, tmp_path):
+        class Unprintable:
+            def __str__(self):
+                raise RuntimeError("boom")
+
+        path = tmp_path / "out.json"
+        _write_json(str(path), {"ok": 1})
+        with pytest.raises(RuntimeError, match="boom"):
+            _write_json(str(path), {"bad": Unprintable()})
+        # The original file is intact and no temp file was left behind.
+        assert json.loads(path.read_text()) == {"ok": 1}
+        assert not [n for n in os.listdir(tmp_path)
+                    if n.startswith(".tmp-json-")]
+
+
+class TestResumeRefusals:
+    def test_resume_refuses_foreign_fingerprint(self, tmp_path, capsys):
+        """A journal written under a different engine identity must stop
+        the CLI with a clean error, not merge wrong numbers."""
+        path = str(tmp_path / "foreign.journal")
+        with OutcomeJournal(path) as journal:
+            journal.log_admit(0, "tiny0", "mbopc", "feedfacefeedface")
+        code = main(["resume", "--journal", path])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "refusing to merge" in err
+
+    def test_resume_refuses_non_journal_file(self, tmp_path, capsys):
+        path = tmp_path / "notajournal"
+        path.write_bytes(b"plain text, no magic")
+        code = main(["resume", "--journal", str(path)])
+        assert code == 2
+        assert "bad magic" in capsys.readouterr().err

@@ -1,5 +1,6 @@
 """Tests for the disk-persistent kernel-spectra store (litho/store.py)."""
 
+import os
 import time
 
 import numpy as np
@@ -113,6 +114,67 @@ class TestStoreRobustness:
         assert store.writes == 2  # the corrupt entry was overwritten
         # ... and the overwritten entry now loads.
         assert_spectra_equal(built, fresh_set(store).band_spectra(SHAPE))
+
+    def test_truncated_entry_is_rebuilt(self, tmp_path):
+        """A crash/copy that cut the entry short reads as a miss."""
+        store = KernelSpectraStore(str(tmp_path))
+        warmed = fresh_set(store)
+        built = warmed.band_spectra(SHAPE)
+        path = store.entry_path(optics_fingerprint(warmed), SHAPE)
+        payload = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(payload[: len(payload) // 2])
+        misses_before = store.misses
+        rebuilt = fresh_set(store).band_spectra(SHAPE)
+        assert_spectra_equal(built, rebuilt)
+        assert store.misses == misses_before + 1
+        assert store.writes == 2
+        assert_spectra_equal(built, fresh_set(store).band_spectra(SHAPE))
+
+    def test_bit_flipped_entry_is_rebuilt(self, tmp_path):
+        """A single flipped payload byte (disk rot: the npz still opens,
+        the arrays still parse, only the numbers are wrong) is caught by
+        the content checksum and rebuilt — never served."""
+        from repro.service.faults import corrupt_file
+
+        store = KernelSpectraStore(str(tmp_path))
+        warmed = fresh_set(store)
+        built = warmed.band_spectra(SHAPE)
+        path = store.entry_path(optics_fingerprint(warmed), SHAPE)
+        # npz members are stored uncompressed, so flipping a byte well
+        # inside the file body mutates array data while leaving the zip
+        # directory (at the end) intact — the stale checksum is the only
+        # thing standing between this entry and a wrong simulation.
+        corrupt_file(path, offset=os.path.getsize(path) // 2)
+        misses_before = store.misses
+        rebuilt = fresh_set(store).band_spectra(SHAPE)
+        assert_spectra_equal(built, rebuilt)
+        assert store.misses == misses_before + 1
+        assert store.writes == 2
+        assert_spectra_equal(built, fresh_set(store).band_spectra(SHAPE))
+
+    def test_injected_store_corruption_is_contained(self, tmp_path):
+        """The fault harness's store.save corrupt rule flips a byte of
+        the just-written entry; the next load detects and rebuilds."""
+        from repro.service import (
+            FaultPlan,
+            FaultRule,
+            clear_fault_plan,
+            install_fault_plan,
+        )
+
+        store = KernelSpectraStore(str(tmp_path))
+        install_fault_plan(FaultPlan([
+            FaultRule(point="store.save", action="corrupt", at=(1,)),
+        ]))
+        try:
+            built = fresh_set(store).band_spectra(SHAPE)
+            rebuilt = fresh_set(store).band_spectra(SHAPE)
+        finally:
+            clear_fault_plan()
+        assert_spectra_equal(built, rebuilt)
+        assert store.misses >= 1  # the corrupted entry never served
+        assert store.writes == 2
 
     def test_unwritable_store_never_fails_simulation(self, tmp_path):
         """The store is a cache, not a dependency: when its directory
