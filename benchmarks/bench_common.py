@@ -3,6 +3,21 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+"""Repository root: bare ``BENCH_<name>.json`` filenames are anchored
+here so the records land in the tracked tree (the in-repo perf
+trajectory) no matter which directory the gate is launched from.
+Explicit paths (anything with a directory component) are honoured
+as-is."""
+
+
+def _resolve(path: str) -> Path:
+    target = Path(path)
+    if not target.is_absolute() and target.parent == Path("."):
+        return REPO_ROOT / target
+    return target
 
 
 def write_json(path: str, record: dict) -> None:
@@ -10,10 +25,11 @@ def write_json(path: str, record: dict) -> None:
     read-only workspace must not turn a passing gate into a failure)."""
     if not path:
         return
+    target = _resolve(path)
     try:
-        with open(path, "w", encoding="utf-8") as handle:
+        with open(target, "w", encoding="utf-8") as handle:
             json.dump(record, handle, indent=2, sort_keys=True)
             handle.write("\n")
-        print(f"wrote {path}")
+        print(f"wrote {target}")
     except OSError as exc:  # pragma: no cover - environment-dependent
-        print(f"warning: could not write {path}: {exc}")
+        print(f"warning: could not write {target}: {exc}")

@@ -64,6 +64,81 @@ def _band_indices(n: int, radius: int) -> np.ndarray:
     return np.r_[0 : radius + 1, n - radius : n]
 
 
+_PHASE_CACHE: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+_PHASE_CACHE_CAPACITY = 32
+_PHASE_LOCK = threading.Lock()
+"""Module-level LRU of sparse-gather phase matrices.  Keyed by (grid
+shape, band radii, pixel set), so every kernel set sharing one optics
+geometry — the simulator's focus and defocus sets in particular — reuses
+one matrix; guarded because the daemon's verifier thread races
+``score_moves_epe`` callers."""
+
+
+def _sparse_phase_matrix(
+    shape: tuple[int, int],
+    band: GridBandSpectra,
+    rows: np.ndarray,
+    cols: np.ndarray,
+) -> np.ndarray:
+    """Real-stacked inverse-DFT phase matrix for a fixed pixel set.
+
+    Evaluating the zero-padded inverse FFT of ``_band_intensity`` at S
+    chosen pixels is the direct DFT ``I[s] = Re(sum_f spec[f] *
+    exp(2j pi (k_r r_s / H + k_c c_s / W))) * upscale / (H W)`` over the
+    F = (4b0+1)(4b1+1) intensity-band frequencies.  The matrix is built
+    separably (row phases x column phases) and returned *real-stacked* as
+    ``(2F, S)`` — ``[[Re P], [-Im P]]`` — so the per-batch evaluation is
+    one real GEMM of the ``[Re spec, Im spec]`` stack against it (half
+    the FLOPs of the complex product, result already real).
+    """
+    key = (
+        shape,
+        band.band,
+        rows.tobytes(),
+        cols.tobytes(),
+    )
+    with _PHASE_LOCK:
+        cached = _PHASE_CACHE.get(key)
+        if cached is not None:
+            _PHASE_CACHE.move_to_end(key)
+            return cached
+    height, width = shape
+    m0, m1 = band.subgrid
+    k_rows = band.up_rows_dst.astype(np.float64)
+    k_cols = band.up_cols_dst.astype(np.float64)
+    phase_r = np.exp((2j * np.pi / height) * np.outer(k_rows, rows))
+    phase_c = np.exp((2j * np.pi / width) * np.outer(k_cols, cols))
+    # upscale / (H W) == 1 / (m0 m1): the resample gain times the
+    # inverse-transform normalization.
+    matrix = (phase_r[:, None, :] * phase_c[None, :, :]).reshape(
+        len(k_rows) * len(k_cols), len(rows)
+    ) / (m0 * m1)
+    stacked = np.concatenate([matrix.real, -matrix.imag], axis=0)
+    with _PHASE_LOCK:
+        _PHASE_CACHE[key] = stacked
+        while len(_PHASE_CACHE) > _PHASE_CACHE_CAPACITY:
+            _PHASE_CACHE.popitem(last=False)
+    return stacked
+
+
+def _validate_pixel_set(
+    shape: tuple[int, int], rows, cols
+) -> tuple[np.ndarray, np.ndarray]:
+    rows = np.ascontiguousarray(rows, dtype=np.int64)
+    cols = np.ascontiguousarray(cols, dtype=np.int64)
+    if rows.ndim != 1 or rows.shape != cols.shape:
+        raise LithoError(
+            f"pixel rows {rows.shape} and cols {cols.shape} must be "
+            "matching 1-D index arrays"
+        )
+    if len(rows) and (
+        rows.min() < 0 or rows.max() >= shape[0]
+        or cols.min() < 0 or cols.max() >= shape[1]
+    ):
+        raise LithoError(f"pixel indices fall outside the {shape} grid")
+    return rows, cols
+
+
 @dataclass(frozen=True)
 class GridBandSpectra:
     """Band-limited SOCS spectra bound to one grid shape (source of truth).
@@ -476,6 +551,58 @@ class OpticalKernelSet:
                 return self._band_intensity(mask_ffts, band)
         return self._full_grid_intensity(mask_ffts, shape)
 
+    def _gather_band(
+        self, mask_ffts: np.ndarray, band: GridBandSpectra
+    ) -> np.ndarray:
+        """Pupil-band mask coefficients scattered onto the subgrid."""
+        m0, m1 = band.subgrid
+        sub = np.zeros((mask_ffts.shape[0], m0, m1), dtype=np.complex128)
+        sub[:, band.rows_dst[:, None], band.cols_dst[None, :]] = mask_ffts[
+            :, band.rows_src[:, None], band.cols_src[None, :]
+        ]
+        return sub
+
+    def _gather_band_rfft(
+        self, mask_rffts: np.ndarray, band: GridBandSpectra
+    ) -> np.ndarray:
+        """Band gather from a half-width ``rfft2`` spectrum.
+
+        A real mask's spectrum is Hermitian, ``F[r, c] = conj(F[(-r) % H,
+        (-c) % W])``, so the negative-column half of the pupil band is
+        recovered from the stored positive columns with flipped rows.
+        Values match :meth:`_gather_band` on the full spectrum to FFT
+        round-off (the rfft sums in a different order — not bit-for-bit).
+        """
+        rows, _ = band.shape
+        b1 = band.band[1]
+        m0, m1 = band.subgrid
+        rows_src = band.rows_src
+        gathered = np.empty(
+            (mask_rffts.shape[0], len(rows_src), len(band.cols_src)),
+            dtype=np.complex128,
+        )
+        gathered[..., : b1 + 1] = mask_rffts[
+            :, rows_src[:, None], np.arange(b1 + 1)[None, :]
+        ]
+        flipped = (rows - rows_src) % rows
+        gathered[..., b1 + 1 :] = np.conj(
+            mask_rffts[:, flipped[:, None], np.arange(b1, 0, -1)[None, :]]
+        )
+        sub = np.zeros((mask_rffts.shape[0], m0, m1), dtype=np.complex128)
+        sub[:, band.rows_dst[:, None], band.cols_dst[None, :]] = gathered
+        return sub
+
+    def _subgrid_intensity(
+        self, sub: np.ndarray, band: GridBandSpectra
+    ) -> np.ndarray:
+        """Per-kernel subgrid convolution summed into one intensity."""
+        fft = self.fft
+        intensity = np.zeros(sub.shape, dtype=np.float64)
+        for weight, kernel_sub in zip(band.weights, band.sub_spectra):
+            field_k = fft.ifft2(sub * kernel_sub, axes=(-2, -1))
+            intensity += weight * (field_k.real**2 + field_k.imag**2)
+        return intensity
+
     def _band_intensity(
         self, mask_ffts: np.ndarray, band: GridBandSpectra
     ) -> np.ndarray:
@@ -484,14 +611,8 @@ class OpticalKernelSet:
         m0, m1 = band.subgrid
         batch = mask_ffts.shape[0]
         fft = self.fft
-        sub = np.zeros((batch, m0, m1), dtype=np.complex128)
-        sub[:, band.rows_dst[:, None], band.cols_dst[None, :]] = mask_ffts[
-            :, band.rows_src[:, None], band.cols_src[None, :]
-        ]
-        intensity = np.zeros((batch, m0, m1), dtype=np.float64)
-        for weight, kernel_sub in zip(band.weights, band.sub_spectra):
-            field_k = fft.ifft2(sub * kernel_sub, axes=(-2, -1))
-            intensity += weight * (field_k.real**2 + field_k.imag**2)
+        sub = self._gather_band(mask_ffts, band)
+        intensity = self._subgrid_intensity(sub, band)
         # Exact zero-padded FFT resampling of the (band-limited) intensity.
         spectrum = fft.fft2(intensity, axes=(-2, -1))
         upscale = (rows * cols) / (m0 * m1)
@@ -501,6 +622,105 @@ class OpticalKernelSet:
             * upscale
         )
         return fft.ifft2(full, axes=(-2, -1)).real
+
+    def _sparse_band_values(
+        self,
+        sub: np.ndarray,
+        band: GridBandSpectra,
+        rows: np.ndarray,
+        cols: np.ndarray,
+    ) -> np.ndarray:
+        """Intensity at a pixel set from subgrid-scattered mask bands.
+
+        The subgrid convolution runs exactly as in :meth:`_band_intensity`;
+        the full-grid inverse FFT of the intensity is replaced by a direct
+        DFT gather — one real GEMM of the ``(B, 2F)`` intensity-band
+        spectra against the cached ``(2F, S)`` phase matrix.
+        """
+        intensity = self._subgrid_intensity(sub, band)
+        spectrum = self.fft.fft2(intensity, axes=(-2, -1))
+        spec_band = spectrum[
+            :, band.up_rows_src[:, None], band.up_cols_src[None, :]
+        ].reshape(sub.shape[0], -1)
+        stacked = np.concatenate([spec_band.real, spec_band.imag], axis=1)
+        return stacked @ _sparse_phase_matrix(band.shape, band, rows, cols)
+
+    def intensity_at_pixels(
+        self, mask_ffts: np.ndarray, rows: np.ndarray, cols: np.ndarray
+    ) -> np.ndarray:
+        """Aerial intensity of ``(B, H, W)`` mask spectra at S pixels.
+
+        Returns ``(B, S)`` values mathematically identical to
+        ``intensity_from_mask_ffts(mask_ffts)[:, rows, cols]`` (<= 1e-12
+        absolute — the exact zero-padded FFT resample and the direct DFT
+        gather are the same linear map evaluated in different summation
+        orders).  On the compact band path the full-grid inverse
+        transform never happens: cost drops from O(B H W log(H W)) to one
+        ``(B, 2F) x (2F, S)`` GEMM after the subgrid convolution.
+        Non-compact and legacy-spatial sets fall back to the dense
+        intensity plus a fancy-index gather, which is exact by
+        construction.
+        """
+        if mask_ffts.ndim != 3:
+            raise LithoError(
+                f"mask spectra must be 3-D (B, H, W), got shape {mask_ffts.shape}"
+            )
+        shape = tuple(mask_ffts.shape[-2:])
+        self._validate_grid(shape)
+        rows, cols = _validate_pixel_set(shape, rows, cols)
+        if self.is_native:
+            band = self.band_spectra(shape)
+            if band.compact:
+                sub = self._gather_band(mask_ffts, band)
+                return self._sparse_band_values(sub, band, rows, cols)
+        return self._full_grid_intensity(mask_ffts, shape)[:, rows, cols]
+
+    def sparse_intensity_from_rfft(
+        self,
+        mask_rffts: np.ndarray,
+        shape: tuple[int, int],
+        rows: np.ndarray,
+        cols: np.ndarray,
+    ) -> np.ndarray:
+        """Sparse intensity from half-width real-input spectra.
+
+        The fast path of the sparse EPE pipeline: callers forward-
+        transform their real mask stack once with :meth:`FFTBackend.
+        rfft2` (about half the cost of the full ``fft2``) and share the
+        result across the focus and defocus kernel sets; the pupil band
+        is reconstructed by Hermitian symmetry.  Only available on the
+        compact band path — the dense fallback needs full spectra, so
+        callers without a compact band should compute ``fft2`` and use
+        :meth:`intensity_at_pixels` instead.
+        """
+        if mask_rffts.ndim != 3:
+            raise LithoError(
+                "mask rfft spectra must be 3-D (B, H, W//2+1), got shape "
+                f"{mask_rffts.shape}"
+            )
+        shape = (int(shape[0]), int(shape[1]))
+        if mask_rffts.shape[-2:] != (shape[0], shape[1] // 2 + 1):
+            raise LithoError(
+                f"rfft spectra {mask_rffts.shape[-2:]} do not match grid "
+                f"{shape} (expected ({shape[0]}, {shape[1] // 2 + 1}))"
+            )
+        self._validate_grid(shape)
+        rows, cols = _validate_pixel_set(shape, rows, cols)
+        if not self.is_native:
+            raise LithoError(
+                "sparse_intensity_from_rfft needs a frequency-native "
+                "kernel set; legacy spatial sets must gather from the "
+                "dense path (intensity_at_pixels)"
+            )
+        band = self.band_spectra(shape)
+        if not band.compact:
+            raise LithoError(
+                "sparse_intensity_from_rfft needs a compact pupil band; "
+                f"the {shape} grid's band covers it — use "
+                "intensity_at_pixels on full spectra instead"
+            )
+        sub = self._gather_band_rfft(mask_rffts, band)
+        return self._sparse_band_values(sub, band, rows, cols)
 
     def _full_grid_intensity(
         self, mask_ffts: np.ndarray, shape: tuple[int, int]

@@ -16,14 +16,35 @@ Two resolution engines share the crossing semantics:
   Python-loop :func:`_locate_crossing` per point.  It is kept (and
   tested bit-for-bit against the vectorized path) as the executable
   specification of the crossing rule.
+
+Sparse evaluation: a :class:`ContourStencilPlan` enumerates, once per
+(clip geometry, search window), the unique grid pixels every bilinear
+stencil of every search sample touches — typically a few hundred of the
+grid's ~10^5 pixels.  The lithography engine evaluates intensity at just
+that pixel set (:meth:`repro.litho.kernels.OpticalKernelSet.
+intensity_at_pixels`), and :meth:`ContourStencilPlan.profiles` rebuilds
+the search profiles with *exactly* the arithmetic of
+:func:`~repro.geometry.raster.bilinear_sample_many` — given identical
+pixel values the profiles are bit-for-bit identical, so the whole sparse
+path differs from the dense one only by the engine's <= 1e-12 intensity
+round-off.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.errors import MetrologyError
-from repro.geometry.raster import Grid, bilinear_sample_many, bilinear_sample_stack
+from repro.geometry.raster import (
+    Grid,
+    _bilinear_weights,
+    bilinear_sample_many,
+    bilinear_sample_stack,
+)
 
 
 def _validate_inputs(
@@ -161,6 +182,219 @@ def contour_offsets_grouped(
         resolved = _resolve_profiles(
             np.concatenate(profiles), offsets, len(offsets) // 2,
             threshold, search_nm,
+        )
+    else:
+        resolved = np.zeros(0, dtype=np.float64)
+    out: list[np.ndarray] = []
+    start = 0
+    for count in counts:
+        out.append(resolved[start : start + count])
+        start += count
+    return out
+
+
+@dataclass(frozen=True)
+class ContourStencilPlan:
+    """Precomputed sparse-sampling plan for one (geometry, window) pair.
+
+    Attributes:
+        grid: Raster grid the pixel indices address.
+        points / normals: The ``(n, 2)`` measure points and outward
+            normals the plan was built for.
+        search_nm / step_nm: Search window parameters; ``offsets`` is the
+            resulting ``(n_offsets,)`` sample offsets along each normal.
+        pixel_rows / pixel_cols: ``(S,)`` unique grid pixels touched by
+            any bilinear stencil of any search sample (the set a sparse
+            intensity engine must evaluate).
+        gather00..gather11 / frac_r / frac_c: Per-sample stencil corners
+            as indices *into the pixel set* plus the fractional blend
+            weights, mirroring :func:`~repro.geometry.raster.
+            _bilinear_weights` exactly (including its border clamping).
+    """
+
+    grid: Grid
+    points: np.ndarray
+    normals: np.ndarray
+    search_nm: float
+    step_nm: float
+    offsets: np.ndarray
+    pixel_rows: np.ndarray
+    pixel_cols: np.ndarray
+    gather00: np.ndarray
+    gather01: np.ndarray
+    gather10: np.ndarray
+    gather11: np.ndarray
+    frac_r: np.ndarray
+    frac_c: np.ndarray
+
+    @property
+    def n_points(self) -> int:
+        return len(self.points)
+
+    @property
+    def n_pixels(self) -> int:
+        return len(self.pixel_rows)
+
+    def profiles(self, values: np.ndarray) -> np.ndarray:
+        """Search profiles from intensities at the plan's pixel set.
+
+        ``values`` is ``(..., S)`` — intensity at ``(pixel_rows[s],
+        pixel_cols[s])`` for any leading batch shape.  Returns ``(...,
+        n, n_offsets)`` profiles, bit-for-bit equal to
+        :func:`~repro.geometry.raster.bilinear_sample_many` on a dense
+        image holding the same pixel values (the blend arithmetic is
+        identical, operation for operation).
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape[-1] != self.n_pixels:
+            raise MetrologyError(
+                f"expected {self.n_pixels} pixel values, got shape "
+                f"{values.shape}"
+            )
+        frac_r, frac_c = self.frac_r, self.frac_c
+        top = (
+            values[..., self.gather00] * (1 - frac_c)
+            + values[..., self.gather01] * frac_c
+        )
+        bottom = (
+            values[..., self.gather10] * (1 - frac_c)
+            + values[..., self.gather11] * frac_c
+        )
+        samples = top * (1 - frac_r) + bottom * frac_r
+        return samples.reshape(
+            *values.shape[:-1], self.n_points, len(self.offsets)
+        )
+
+    def resolve(self, values: np.ndarray, threshold: float) -> np.ndarray:
+        """Signed contour offsets from sparse intensities (``(..., n)``).
+
+        The crossing rule is the shared :func:`_resolve_profiles`, so
+        given bit-identical profiles the result is bit-identical to the
+        dense :func:`contour_offset_along_normal`.
+        """
+        return _resolve_profiles(
+            self.profiles(values), self.offsets, len(self.offsets) // 2,
+            threshold, self.search_nm,
+        )
+
+
+@dataclass(frozen=True)
+class SparseAerial:
+    """Aerial intensity evaluated only at a stencil plan's pixel set.
+
+    ``values`` is the nominal-corner intensity, ``(S,)`` (or a leading
+    batch shape); ``values_defocus`` optionally carries the defocus
+    corner for process-window sweeps.  Produced by
+    :meth:`repro.litho.simulator.LithographySimulator.simulate_epe_batch`
+    and consumed by :func:`contour_offsets_sparse` /
+    :func:`repro.metrology.epe.measure_epe_sparse`.
+    """
+
+    plan: ContourStencilPlan
+    values: np.ndarray
+    values_defocus: np.ndarray | None = None
+
+
+_PLAN_CACHE: "OrderedDict[tuple, ContourStencilPlan]" = OrderedDict()
+_PLAN_CACHE_CAPACITY = 128
+_PLAN_LOCK = threading.Lock()
+
+
+def plan_contour_stencils(
+    grid: Grid,
+    points: np.ndarray,
+    normals: np.ndarray,
+    search_nm: float = 40.0,
+    step_nm: float = 1.0,
+) -> ContourStencilPlan:
+    """Build (and cache) the sparse sampling plan for one geometry.
+
+    Plans are cached per ``(grid, points, normals, search window)`` —
+    clip geometry is immutable, so repeated verification of the same
+    clip (the service's steady state) reuses one plan, and with it the
+    litho engine's cached phase matrix for the pixel set.
+    """
+    points, normals = _validate_inputs(points, normals, search_nm, step_nm)
+    key = (
+        grid,
+        points.tobytes(),
+        normals.tobytes(),
+        float(search_nm),
+        float(step_nm),
+    )
+    with _PLAN_LOCK:
+        cached = _PLAN_CACHE.get(key)
+        if cached is not None:
+            _PLAN_CACHE.move_to_end(key)
+            return cached
+    offsets = np.arange(-search_nm, search_nm + step_nm / 2, step_nm)
+    xs, ys = _sample_coordinates(points, normals, offsets)
+    # The exact corner/weight arithmetic of the dense samplers — reusing
+    # _bilinear_weights keeps the out-of-raster clamping semantics
+    # identical by construction.
+    r0, c0, r1, c1, frac_r, frac_c = _bilinear_weights(grid, xs, ys)
+    linear = np.concatenate([
+        r0 * grid.cols + c0,
+        r0 * grid.cols + c1,
+        r1 * grid.cols + c0,
+        r1 * grid.cols + c1,
+    ])
+    unique, inverse = np.unique(linear, return_inverse=True)
+    n_samples = len(xs)
+    plan = ContourStencilPlan(
+        grid=grid,
+        points=points,
+        normals=normals,
+        search_nm=float(search_nm),
+        step_nm=float(step_nm),
+        offsets=offsets,
+        pixel_rows=unique // grid.cols,
+        pixel_cols=unique % grid.cols,
+        gather00=inverse[:n_samples],
+        gather01=inverse[n_samples : 2 * n_samples],
+        gather10=inverse[2 * n_samples : 3 * n_samples],
+        gather11=inverse[3 * n_samples :],
+        frac_r=frac_r,
+        frac_c=frac_c,
+    )
+    with _PLAN_LOCK:
+        _PLAN_CACHE[key] = plan
+        while len(_PLAN_CACHE) > _PLAN_CACHE_CAPACITY:
+            _PLAN_CACHE.popitem(last=False)
+    return plan
+
+
+def contour_offsets_sparse(
+    aerials: "list[SparseAerial]", threshold: float
+) -> list[np.ndarray]:
+    """Resolve contour offsets for a group of sparse aerials at once.
+
+    The sparse counterpart of :func:`contour_offsets_grouped`: profiles
+    from every aerial concatenate into one vectorized
+    :func:`_resolve_profiles` pass.  All plans must share one search
+    window (the grouped verifier bins by it).
+    """
+    if not aerials:
+        return []
+    windows = {
+        (aerial.plan.search_nm, aerial.plan.step_nm) for aerial in aerials
+    }
+    if len(windows) > 1:
+        raise MetrologyError(
+            f"sparse aerials mix search windows {sorted(windows)}; "
+            "resolve them in separate calls"
+        )
+    reference = aerials[0].plan
+    profiles: list[np.ndarray] = []
+    counts: list[int] = []
+    for aerial in aerials:
+        counts.append(aerial.plan.n_points)
+        if aerial.plan.n_points:
+            profiles.append(aerial.plan.profiles(aerial.values))
+    if profiles:
+        resolved = _resolve_profiles(
+            np.concatenate(profiles), reference.offsets,
+            len(reference.offsets) // 2, threshold, reference.search_nm,
         )
     else:
         resolved = np.zeros(0, dtype=np.float64)

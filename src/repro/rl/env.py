@@ -40,6 +40,8 @@ from repro.metrology.epe import (
     EPEReport,
     measure_epe,
     measure_epe_batch,
+    measure_epe_grouped_sparse,
+    measure_stencil_plan,
     segment_epe,
     segment_epe_batch,
 )
@@ -88,6 +90,8 @@ class OPCEnvironment:
         self.reward_beta = reward_beta
         self.segments: list[Segment] = fragment_clip(clip)
         self.grid: Grid = simulator.grid_for(clip)
+        self._epe_plan_built = False
+        self._epe_plan = None
 
     @property
     def n_segments(self) -> int:
@@ -282,10 +286,53 @@ class OPCEnvironment:
         (warn-only shim).
         """
         warn_deprecated_mode(mode)
+        candidates = self._validate_candidates(candidate_actions)
+        return self.step_batch([state] * len(candidates), candidates)
+
+    def _validate_candidates(self, candidate_actions: np.ndarray) -> np.ndarray:
         candidates = np.asarray(candidate_actions)
         if candidates.ndim != 2 or candidates.shape[0] == 0:
             raise RLError(
                 "candidate actions must be a non-empty (A, n_segments) "
                 f"matrix, got shape {candidates.shape}"
             )
-        return self.step_batch([state] * len(candidates), candidates)
+        self._validate_actions(candidates)
+        return candidates
+
+    def measure_plan(self):
+        """The clip's cached measure-point stencil plan (``None`` when no
+        segment owns a measure point)."""
+        if not self._epe_plan_built:
+            self._epe_plan = measure_stencil_plan(
+                self.grid, self.segments, search_nm=self.epe_search_nm
+            )
+            self._epe_plan_built = True
+        return self._epe_plan
+
+    def score_moves_epe(
+        self, state: EnvState, candidate_actions: np.ndarray
+    ) -> list[EPEReport]:
+        """EPE-only screening of A candidate action vectors.
+
+        The cheap sibling of :meth:`score_moves` for callers that rank
+        candidates purely by measure-point EPE: lithography runs the
+        sparse band-spectrum gather at the clip's measure-point stencils
+        only (:meth:`~repro.litho.simulator.LithographySimulator.
+        simulate_epe_batch`) — no printed images, no PV band, no
+        full-grid intensity.  Returns one :class:`~repro.metrology.epe.
+        EPEReport` per candidate, agreeing with the corresponding
+        ``score_moves`` report to <= 1e-9 nm per measure point.  Use it
+        to cut a wide candidate set down before paying for full
+        :meth:`score_moves` evaluation of the survivors.
+        """
+        candidates = self._validate_candidates(candidate_actions)
+        move_set = np.asarray(MOVE_SET_NM, dtype=np.float64)
+        images = np.stack([
+            rasterize(state.mask.moved(move_set[row]).mask_polygons(), self.grid)
+            for row in candidates
+        ])
+        plan = self.measure_plan()
+        sparse = self.simulator.simulate_epe_batch(images, self.grid, plan)
+        return measure_epe_grouped_sparse(
+            sparse, self.simulator.config.threshold
+        )
