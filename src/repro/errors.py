@@ -56,6 +56,11 @@ class ConfigError(ReproError):
     """Invalid configuration value."""
 
 
+class SurrogateError(ReproError):
+    """Learned litho surrogate failure (bad checkpoint, non-compact band,
+    feature/label shape mismatch...)."""
+
+
 class ServiceError(ReproError):
     """Mask-optimization service failure (bad request, unknown engine...)."""
 

@@ -94,7 +94,7 @@ def rasterize(
     """
     image = np.zeros(grid.shape, dtype=np.float64)
     for polygon in polygons:
-        for x_lo, x_hi, y_lo, y_hi in _slab_decomposition(polygon):
+        for x_lo, x_hi, y_lo, y_hi in slab_decomposition(polygon):
             _add_slab_coverage(image, grid, x_lo, x_hi, y_lo, y_hi)
     np.clip(image, 0.0, 1.0, out=image)
     if not antialias:
@@ -102,11 +102,15 @@ def rasterize(
     return image
 
 
-def _slab_decomposition(polygon: Polygon):
+def slab_decomposition(polygon: Polygon):
     """Split a rectilinear polygon into disjoint axis-aligned slabs.
 
     Cutting at every distinct vertex y gives horizontal bands inside which
-    the polygon's cross-section is a fixed union of x-intervals.
+    the polygon's cross-section is a fixed union of x-intervals.  Public
+    because the antialiased raster is exactly the sum of the slabs'
+    pixel-coverage outer products — consumers (e.g. the surrogate's
+    rasterless feature path) can evaluate linear functionals of the
+    raster directly from these slabs without building the image.
     """
     verts = polygon.vertices
     n = len(verts)

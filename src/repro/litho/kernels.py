@@ -180,6 +180,157 @@ class GridBandSpectra:
         return len(self.weights)
 
 
+def gather_band_rfft(mask_rffts: np.ndarray, band: GridBandSpectra) -> np.ndarray:
+    """Pupil-band gather from half-width ``rfft2`` spectra onto the subgrid.
+
+    A real mask's spectrum is Hermitian, ``F[r, c] = conj(F[(-r) % H,
+    (-c) % W])``, so the negative-column half of the pupil band is
+    recovered from the stored positive columns with flipped rows.  Values
+    match the full-spectrum gather to FFT round-off (the rfft sums in a
+    different order — not bit-for-bit).  Public module-level entry point:
+    the surrogate's feature pipeline shares it with the sparse EPE path.
+    """
+    rows, _ = band.shape
+    b1 = band.band[1]
+    m0, m1 = band.subgrid
+    rows_src = band.rows_src
+    gathered = np.empty(
+        (mask_rffts.shape[0], len(rows_src), len(band.cols_src)),
+        dtype=np.complex128,
+    )
+    gathered[..., : b1 + 1] = mask_rffts[
+        :, rows_src[:, None], np.arange(b1 + 1)[None, :]
+    ]
+    flipped = (rows - rows_src) % rows
+    gathered[..., b1 + 1 :] = np.conj(
+        mask_rffts[:, flipped[:, None], np.arange(b1, 0, -1)[None, :]]
+    )
+    sub = np.zeros((mask_rffts.shape[0], m0, m1), dtype=np.complex128)
+    sub[:, band.rows_dst[:, None], band.cols_dst[None, :]] = gathered
+    return sub
+
+
+def band_limited_mask_subgrid(
+    mask_rffts: np.ndarray, band: GridBandSpectra, fft
+) -> np.ndarray:
+    """Band-limited mask raster resampled onto the intensity subgrid.
+
+    ``(B, H, W//2+1)`` rfft spectra map to real ``(B, m0, m1)`` rasters on
+    the same physical 0..1 transmission scale as the full-grid mask: the
+    subgrid inverse FFT carries a ``1/(m0 m1)`` normalization where the
+    band coefficients came from an ``(H, W)`` forward transform, so the
+    resample gain is ``(m0 m1)/(H W)``.  This is the surrogate model's
+    input feature — everything the projection optics can see of the mask,
+    at the cheapest alias-free resolution.
+    """
+    rows, cols = band.shape
+    m0, m1 = band.subgrid
+    sub = gather_band_rfft(mask_rffts, band)
+    return fft.ifft2(sub, axes=(-2, -1)).real * ((m0 * m1) / (rows * cols))
+
+
+_BAND_DFT_CACHE: "OrderedDict[tuple, tuple[np.ndarray, np.ndarray]]" = OrderedDict()
+_BAND_DFT_CACHE_CAPACITY = 16
+_BAND_DFT_LOCK = threading.Lock()
+"""LRU of the separable direct-DFT matrices used by
+:func:`band_limited_mask_subgrid_direct`; keyed per (grid shape, band)."""
+
+
+def _band_dft_matrices(
+    shape: tuple[int, int], band: GridBandSpectra
+) -> tuple[np.ndarray, np.ndarray]:
+    key = (shape, band.band)
+    with _BAND_DFT_LOCK:
+        cached = _BAND_DFT_CACHE.get(key)
+        if cached is not None:
+            _BAND_DFT_CACHE.move_to_end(key)
+            return cached
+    height, width = shape
+    b0, b1 = band.band
+    k_rows = _band_indices(height, b0).astype(np.float64)
+    k_cols = _band_indices(width, b1).astype(np.float64)
+    left = np.exp(
+        (-2j * np.pi / height) * np.outer(k_rows, np.arange(height))
+    )
+    right = np.exp(
+        (-2j * np.pi / width) * np.outer(np.arange(width), k_cols)
+    )
+    # Stack real/imag parts so the hot path runs real GEMMs only — a
+    # complex @ real matmul would promote the whole mask stack to
+    # complex128 first, which costs more than the arithmetic.
+    right_ri = np.ascontiguousarray(
+        np.concatenate([right.real, right.imag], axis=1)
+    )
+    pair = (left, right_ri)
+    with _BAND_DFT_LOCK:
+        _BAND_DFT_CACHE[key] = pair
+        while len(_BAND_DFT_CACHE) > _BAND_DFT_CACHE_CAPACITY:
+            _BAND_DFT_CACHE.popitem(last=False)
+    return pair
+
+
+def band_limited_mask_subgrid_direct(
+    masks: np.ndarray, band: GridBandSpectra
+) -> np.ndarray:
+    """:func:`band_limited_mask_subgrid` without the full-grid transform.
+
+    The pupil band holds only ``(2 b0 + 1) x (2 b1 + 1)`` coefficients, so
+    for screening-sized batches two small GEMMs against cached separable
+    DFT matrices beat a ``(B, H, W)`` forward FFT that computes ``H W``
+    coefficients and discards almost all of them.  Values agree with the
+    FFT route to float round-off (same linear map, different summation
+    order); the fast path of the surrogate screener.
+    """
+    masks = np.asarray(masks, dtype=np.float64)
+    left, right_ri = _band_dft_matrices(band.shape, band)
+    half = right_ri.shape[1] // 2
+    mixed = masks @ right_ri
+    col_re, col_im = mixed[..., :half], mixed[..., half:]
+    coeffs = (left.real @ col_re - left.imag @ col_im) + 1j * (
+        left.real @ col_im + left.imag @ col_re
+    )
+    return band_coeffs_to_subgrid(coeffs, band)
+
+
+def band_coeffs_to_subgrid(
+    coeffs: np.ndarray, band: GridBandSpectra
+) -> np.ndarray:
+    """Real-space subgrid signal of ``(B, 2 b0 + 1, b1 + 1)`` band coefficients.
+
+    ``coeffs`` are full-grid DFT coefficients at the band frequencies (row
+    order ``_band_indices``); the subgrid scatter plus a small inverse FFT
+    reproduce :func:`band_limited_mask_subgrid`'s output scale.
+    """
+    m0, m1 = band.subgrid
+    rows, cols = band.shape
+    sub = np.zeros((coeffs.shape[0], m0, m1), dtype=np.complex128)
+    sub[:, band.rows_dst[:, None], band.cols_dst[None, :]] = coeffs
+    return np.fft.ifft2(sub, axes=(-2, -1)).real * ((m0 * m1) / (rows * cols))
+
+
+def band_values_at_pixels(
+    intensity_sub: np.ndarray,
+    band: GridBandSpectra,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    fft,
+) -> np.ndarray:
+    """Full-grid pixel values of a band-limited subgrid intensity.
+
+    ``(B, m0, m1)`` subgrid intensities (exact or surrogate-predicted)
+    evaluate at S full-grid pixels via one forward FFT and one real GEMM
+    against the cached phase matrix — the same direct DFT gather the
+    sparse EPE path uses, factored out so surrogate predictions can ride
+    the identical resample map as exact metrology.
+    """
+    spectrum = fft.fft2(intensity_sub, axes=(-2, -1))
+    spec_band = spectrum[
+        :, band.up_rows_src[:, None], band.up_cols_src[None, :]
+    ].reshape(intensity_sub.shape[0], -1)
+    stacked = np.concatenate([spec_band.real, spec_band.imag], axis=1)
+    return stacked @ _sparse_phase_matrix(band.shape, band, rows, cols)
+
+
 @dataclass
 class OpticalKernelSet:
     """SOCS kernels for one focus condition.
@@ -572,25 +723,9 @@ class OpticalKernelSet:
         recovered from the stored positive columns with flipped rows.
         Values match :meth:`_gather_band` on the full spectrum to FFT
         round-off (the rfft sums in a different order — not bit-for-bit).
+        Delegates to the module-level :func:`gather_band_rfft`.
         """
-        rows, _ = band.shape
-        b1 = band.band[1]
-        m0, m1 = band.subgrid
-        rows_src = band.rows_src
-        gathered = np.empty(
-            (mask_rffts.shape[0], len(rows_src), len(band.cols_src)),
-            dtype=np.complex128,
-        )
-        gathered[..., : b1 + 1] = mask_rffts[
-            :, rows_src[:, None], np.arange(b1 + 1)[None, :]
-        ]
-        flipped = (rows - rows_src) % rows
-        gathered[..., b1 + 1 :] = np.conj(
-            mask_rffts[:, flipped[:, None], np.arange(b1, 0, -1)[None, :]]
-        )
-        sub = np.zeros((mask_rffts.shape[0], m0, m1), dtype=np.complex128)
-        sub[:, band.rows_dst[:, None], band.cols_dst[None, :]] = gathered
-        return sub
+        return gather_band_rfft(mask_rffts, band)
 
     def _subgrid_intensity(
         self, sub: np.ndarray, band: GridBandSpectra
@@ -638,12 +773,7 @@ class OpticalKernelSet:
         spectra against the cached ``(2F, S)`` phase matrix.
         """
         intensity = self._subgrid_intensity(sub, band)
-        spectrum = self.fft.fft2(intensity, axes=(-2, -1))
-        spec_band = spectrum[
-            :, band.up_rows_src[:, None], band.up_cols_src[None, :]
-        ].reshape(sub.shape[0], -1)
-        stacked = np.concatenate([spec_band.real, spec_band.imag], axis=1)
-        return stacked @ _sparse_phase_matrix(band.shape, band, rows, cols)
+        return band_values_at_pixels(intensity, band, rows, cols, self.fft)
 
     def intensity_at_pixels(
         self, mask_ffts: np.ndarray, rows: np.ndarray, cols: np.ndarray
@@ -721,6 +851,45 @@ class OpticalKernelSet:
             )
         sub = self._gather_band_rfft(mask_rffts, band)
         return self._sparse_band_values(sub, band, rows, cols)
+
+    def subgrid_intensity_from_rfft(
+        self, mask_rffts: np.ndarray, shape: tuple[int, int]
+    ) -> np.ndarray:
+        """Exact aerial intensity on the pupil-band subgrid, ``(B, m0, m1)``.
+
+        The band-limited intensity is fully determined by its subgrid
+        samples (``m >= 4b + 1`` per axis), so this is the cheapest exact
+        representation of the aerial image — the surrogate trainer uses it
+        as ground-truth labels, and :func:`band_values_at_pixels` lifts
+        either these or surrogate predictions to full-grid pixels.
+        Requires a frequency-native compact-band set, like
+        :meth:`sparse_intensity_from_rfft`.
+        """
+        if mask_rffts.ndim != 3:
+            raise LithoError(
+                "mask rfft spectra must be 3-D (B, H, W//2+1), got shape "
+                f"{mask_rffts.shape}"
+            )
+        shape = (int(shape[0]), int(shape[1]))
+        if mask_rffts.shape[-2:] != (shape[0], shape[1] // 2 + 1):
+            raise LithoError(
+                f"rfft spectra {mask_rffts.shape[-2:]} do not match grid "
+                f"{shape} (expected ({shape[0]}, {shape[1] // 2 + 1}))"
+            )
+        self._validate_grid(shape)
+        if not self.is_native:
+            raise LithoError(
+                "subgrid_intensity_from_rfft needs a frequency-native "
+                "kernel set"
+            )
+        band = self.band_spectra(shape)
+        if not band.compact:
+            raise LithoError(
+                "subgrid_intensity_from_rfft needs a compact pupil band; "
+                f"the {shape} grid's band covers it"
+            )
+        sub = self._gather_band_rfft(mask_rffts, band)
+        return self._subgrid_intensity(sub, band)
 
     def _full_grid_intensity(
         self, mask_ffts: np.ndarray, shape: tuple[int, int]

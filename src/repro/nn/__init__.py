@@ -12,16 +12,33 @@ from repro.nn.functional import (
     concat,
     conv2d,
     cross_entropy,
+    irfft2,
     log_softmax,
     max_pool2d,
     relu,
+    rfft2,
     sigmoid,
     softmax,
     stack,
     tanh,
 )
-from repro.nn.module import Module, Parameter, Sequential
-from repro.nn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Tanh
+from repro.nn.module import (
+    CHECKPOINT_FORMAT_VERSION,
+    Module,
+    Parameter,
+    Sequential,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.nn.layers import (
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    SpectralConv2d,
+    Tanh,
+)
 from repro.nn.rnn import ElmanRNN
 from repro.nn.sage import GraphSAGEConv
 from repro.nn.optim import SGD, Adam
@@ -33,21 +50,27 @@ __all__ = [
     "concat",
     "conv2d",
     "cross_entropy",
+    "irfft2",
     "log_softmax",
     "max_pool2d",
     "relu",
+    "rfft2",
     "sigmoid",
     "softmax",
     "stack",
     "tanh",
+    "CHECKPOINT_FORMAT_VERSION",
     "Module",
     "Parameter",
     "Sequential",
+    "load_checkpoint",
+    "save_checkpoint",
     "Conv2d",
     "Flatten",
     "Linear",
     "MaxPool2d",
     "ReLU",
+    "SpectralConv2d",
     "Tanh",
     "ElmanRNN",
     "GraphSAGEConv",

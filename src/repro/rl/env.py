@@ -276,7 +276,10 @@ class OPCEnvironment:
         state: EnvState,
         candidate_actions: np.ndarray,
         mode: str | None = None,
-    ) -> list[tuple[EnvState, float]]:
+        *,
+        screener=None,
+        screen_keep: int = 1,
+    ) -> list[tuple[EnvState, float] | None]:
         """Evaluate A candidate action vectors in one batched litho call.
 
         ``candidate_actions`` is ``(A, n_segments)`` movement indices;
@@ -284,10 +287,41 @@ class OPCEnvironment:
         bit-for-bit identical to what :meth:`step` would have produced
         for that candidate.  ``mode`` is deprecated and ignored
         (warn-only shim).
+
+        ``screener`` opts into learned-surrogate pre-screening: an object
+        with ``score_candidates(env, state, candidates) -> (A,) totals``
+        (lower is better, e.g. :class:`~repro.surrogate.engine.
+        SurrogateScreener`) ranks the candidates cheaply, and only the
+        best ``screen_keep`` survivors get the exact batched evaluation.
+        The returned list still has one slot per candidate, with ``None``
+        at screened-out indices — every non-``None`` entry comes from the
+        exact engine, so reported metrology never depends on surrogate
+        numbers (the screening-vs-reporting discipline).
         """
         warn_deprecated_mode(mode)
         candidates = self._validate_candidates(candidate_actions)
-        return self.step_batch([state] * len(candidates), candidates)
+        if screener is None:
+            return self.step_batch([state] * len(candidates), candidates)
+        keep = int(screen_keep)
+        if keep < 1:
+            raise RLError(f"screen_keep must be >= 1, got {screen_keep}")
+        keep = min(keep, len(candidates))
+        totals = np.asarray(
+            screener.score_candidates(self, state, candidates), dtype=np.float64
+        )
+        if totals.shape != (len(candidates),):
+            raise RLError(
+                f"screener returned {totals.shape} scores for "
+                f"{len(candidates)} candidates"
+            )
+        survivors = np.argsort(totals, kind="stable")[:keep]
+        scored = self.step_batch(
+            [state] * len(survivors), candidates[survivors]
+        )
+        results: list[tuple[EnvState, float] | None] = [None] * len(candidates)
+        for index, pair in zip(survivors, scored):
+            results[int(index)] = pair
+        return results
 
     def _validate_candidates(self, candidate_actions: np.ndarray) -> np.ndarray:
         candidates = np.asarray(candidate_actions)

@@ -1,0 +1,61 @@
+"""Learned litho surrogate: CFNO-lite screening with exact verification.
+
+The subsystem ROADMAP item 3 asked for: autograd spectral ops power a
+band-limited Fourier neural operator (:class:`CFNOLite`) that predicts
+per-corner aerial intensity on the pupil-band subgrid; the exact engine
+labels its training data (:mod:`repro.surrogate.data`), litho-guided
+self-training closes the fidelity gap (:mod:`repro.surrogate.train`);
+and the ``surrogate`` service engine (:class:`SurrogateOPC`) uses it to
+*screen* candidate moves only — every reported number still comes from
+exact metrology.
+"""
+
+from repro.surrogate.data import (
+    SurrogateDataset,
+    exact_subgrid_labels,
+    generate_dataset,
+    perturbed_masks,
+)
+from repro.surrogate.engine import SurrogateConfig, SurrogateOPC, SurrogateScreener
+from repro.surrogate.model import (
+    CFNOLite,
+    SurrogateModel,
+    pupil_modes,
+    surrogate_features,
+    surrogate_features_from_polygons,
+)
+from repro.surrogate.rasterless import (
+    interval_coverage_dft,
+    polygon_band_coeffs,
+    rasterless_subgrid_masks,
+)
+from repro.surrogate.train import (
+    SurrogateTrainConfig,
+    TrainReport,
+    load_surrogate,
+    save_surrogate,
+    train_surrogate,
+)
+
+__all__ = [
+    "CFNOLite",
+    "SurrogateConfig",
+    "SurrogateDataset",
+    "SurrogateModel",
+    "SurrogateOPC",
+    "SurrogateScreener",
+    "SurrogateTrainConfig",
+    "TrainReport",
+    "exact_subgrid_labels",
+    "generate_dataset",
+    "interval_coverage_dft",
+    "load_surrogate",
+    "perturbed_masks",
+    "polygon_band_coeffs",
+    "pupil_modes",
+    "rasterless_subgrid_masks",
+    "save_surrogate",
+    "surrogate_features",
+    "surrogate_features_from_polygons",
+    "train_surrogate",
+]

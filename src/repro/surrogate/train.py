@@ -1,0 +1,239 @@
+"""Surrogate training: seeded supervised fit + litho-guided self-training.
+
+The base fit is plain minibatch Adam on MSE between the CFNO-lite's
+predicted subgrid intensity and exact labels.  The CFNO paper's
+litho-guided self-training then closes the fidelity gap on the states the
+model will actually see: each round mints a fresh pool of self-predicted
+perturbation samples, scores the model's own predictions against exact
+simulation (cheap — labels live on the tiny subgrid), and re-labels the
+*worst-fidelity* samples into the training set before continuing.  The
+exact engine is the guide; the model picks its own hard examples.
+
+Everything is driven by one seeded Generator and the deterministic
+checkpoint writer, so a fixed seed reproduces the checkpoint bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SurrogateError
+from repro.nn import Adam, Tensor, load_checkpoint, no_grad, save_checkpoint
+from repro.surrogate.data import (
+    SurrogateDataset,
+    dataset_clips,
+    exact_subgrid_labels,
+    generate_dataset,
+    perturbed_masks,
+)
+from repro.surrogate.model import (
+    CFNOLite,
+    SurrogateModel,
+    pupil_modes,
+    surrogate_features,
+)
+
+#: ``extra`` key naming the checkpoint flavour; load_surrogate rejects
+#: checkpoints written by anything else.
+CHECKPOINT_KIND = "cfno-lite"
+
+
+@dataclass(frozen=True)
+class SurrogateTrainConfig:
+    """Knobs for :func:`train_surrogate` (all defaults CI-sized)."""
+
+    width: int = 24
+    n_clips: int = 4
+    samples_per_clip: int = 16
+    clip_nm: float = 1024.0
+    steps: int = 300
+    batch_size: int = 16
+    lr: float = 3e-3
+    seed: int = 0
+    selftrain_rounds: int = 2
+    selftrain_pool: int = 24
+    selftrain_keep: int = 8
+    selftrain_steps: int = 100
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.steps < 1 or self.batch_size < 1:
+            raise SurrogateError(
+                "width, steps, and batch_size must all be >= 1"
+            )
+        if self.lr <= 0:
+            raise SurrogateError(f"lr must be positive, got {self.lr}")
+        if self.selftrain_rounds < 0 or self.selftrain_keep < 1:
+            raise SurrogateError(
+                "selftrain_rounds must be >= 0 and selftrain_keep >= 1"
+            )
+        if self.selftrain_keep > self.selftrain_pool:
+            raise SurrogateError(
+                f"selftrain_keep {self.selftrain_keep} exceeds the pool "
+                f"{self.selftrain_pool}"
+            )
+
+
+@dataclass
+class TrainReport:
+    """What training did, for logs and the bench record."""
+
+    steps: int = 0
+    samples: int = 0
+    final_loss: float = float("nan")
+    selftrain_rounds: list[dict] = field(default_factory=list)
+
+
+def _epoch_loss(net: CFNOLite, features: np.ndarray, labels: np.ndarray) -> float:
+    """Full-dataset MSE (no gradients)."""
+    with no_grad():
+        pred = net(Tensor(features))
+        return float(((pred - Tensor(labels)) ** 2).mean().data)
+
+
+def _fit(
+    net: CFNOLite,
+    optimizer: Adam,
+    features: np.ndarray,
+    labels: np.ndarray,
+    steps: int,
+    batch_size: int,
+    rng: np.random.Generator,
+) -> float:
+    """Minibatch Adam on MSE; returns the last minibatch loss."""
+    count = len(features)
+    loss_value = float("nan")
+    order = np.zeros(0, dtype=np.int64)
+    cursor = 0
+    for _ in range(steps):
+        if cursor + batch_size > len(order):
+            order = rng.permutation(count)
+            cursor = 0
+        pick = order[cursor : cursor + batch_size]
+        cursor += batch_size
+        batch = Tensor(features[pick])
+        target = Tensor(labels[pick])
+        loss = ((net(batch) - target) ** 2).mean()
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        loss_value = float(loss.data)
+    return loss_value
+
+
+def train_surrogate(
+    simulator,
+    config: SurrogateTrainConfig = SurrogateTrainConfig(),
+    dataset: SurrogateDataset | None = None,
+) -> tuple[SurrogateModel, TrainReport]:
+    """Train a CFNO-lite surrogate against the exact engine.
+
+    ``dataset`` overrides the seeded default corpus (used by tests and by
+    in-situ engine calibration on a request's own clip).  Deterministic
+    under a fixed config: same seed, same simulator optics -> bit-
+    identical parameters.
+    """
+    rng = np.random.default_rng(config.seed)
+    if dataset is None:
+        dataset = generate_dataset(
+            simulator,
+            seed=config.seed,
+            n_clips=config.n_clips,
+            samples_per_clip=config.samples_per_clip,
+            clip_nm=config.clip_nm,
+        )
+    features, band, _ = surrogate_features(
+        dataset.masks, simulator, dataset.grid
+    )
+    net = CFNOLite(
+        modes=pupil_modes(band),
+        width=config.width,
+        corners=dataset.labels.shape[1],
+        rng=rng,
+    )
+    optimizer = Adam(net.parameters(), lr=config.lr)
+    report = TrainReport(samples=len(dataset))
+
+    _fit(
+        net, optimizer, features, dataset.labels,
+        config.steps, config.batch_size, rng,
+    )
+    report.steps = config.steps
+
+    # -- litho-guided self-training ----------------------------------------
+    for round_index in range(config.selftrain_rounds):
+        pool_clips = dataset_clips(
+            seed=config.seed * 1000 + round_index + 1,
+            n_clips=config.n_clips,
+            clip_nm=config.clip_nm,
+        )
+        per_clip = max(1, -(-config.selftrain_pool // len(pool_clips)))
+        pool_masks, _ = perturbed_masks(
+            pool_clips, simulator, rng, per_clip
+        )
+        pool_masks = pool_masks[: config.selftrain_pool]
+        pool_features, _, _ = surrogate_features(
+            pool_masks, simulator, dataset.grid
+        )
+        with no_grad():
+            predicted = net(Tensor(pool_features)).numpy()
+        exact = exact_subgrid_labels(pool_masks, simulator, dataset.grid)
+        fidelity = ((predicted - exact) ** 2).mean(axis=(1, 2, 3))
+        worst = np.argsort(fidelity, kind="stable")[::-1][: config.selftrain_keep]
+        dataset = dataset.extended(pool_masks[worst], exact[worst])
+        features = np.concatenate([features, pool_features[worst]])
+        _fit(
+            net, optimizer, features, dataset.labels,
+            config.selftrain_steps, config.batch_size, rng,
+        )
+        report.steps += config.selftrain_steps
+        report.samples = len(dataset)
+        report.selftrain_rounds.append({
+            "round": round_index,
+            "pool": int(len(pool_masks)),
+            "relabeled": int(len(worst)),
+            "worst_mse": float(fidelity[worst].max()),
+            "mean_mse": float(fidelity.mean()),
+        })
+
+    report.final_loss = _epoch_loss(net, features, dataset.labels)
+    return SurrogateModel(net=net), report
+
+
+# -- persistence -------------------------------------------------------------
+
+def save_surrogate(path: str, model: SurrogateModel) -> None:
+    """Atomic, versioned, fingerprinted checkpoint of a trained surrogate."""
+    net = model.net
+    save_checkpoint(
+        path,
+        net.state_dict(),
+        extra={
+            "kind": CHECKPOINT_KIND,
+            "modes": np.asarray(net.modes, dtype=np.int64),
+            "width": net.width,
+            "corners": net.corners,
+        },
+    )
+
+
+def load_surrogate(path: str) -> SurrogateModel:
+    """Rebuild a surrogate from a :func:`save_surrogate` checkpoint."""
+    state, extra = load_checkpoint(path)
+    kind = str(extra["kind"][()]) if "kind" in extra else ""
+    if kind != CHECKPOINT_KIND:
+        raise SurrogateError(
+            f"not a {CHECKPOINT_KIND} checkpoint: {path!r} (kind={kind!r})"
+        )
+    try:
+        modes = tuple(int(m) for m in np.asarray(extra["modes"]))
+        width = int(extra["width"])
+        corners = int(extra["corners"])
+    except KeyError as exc:
+        raise SurrogateError(
+            f"surrogate checkpoint {path!r} is missing metadata: {exc}"
+        ) from None
+    net = CFNOLite(modes=modes, width=width, corners=corners)
+    net.load_state_dict(state)
+    return SurrogateModel(net=net)

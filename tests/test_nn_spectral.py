@@ -1,0 +1,221 @@
+"""Spectral autograd ops, SpectralConv2d, and the versioned checkpoint format.
+
+Also carries the finite-difference gradcheck coverage for the existing
+``conv2d``/``max_pool2d`` ops (previously only elementwise/matmul paths
+were checked).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from nn_gradcheck import check_gradient, numeric_gradient
+from repro.errors import NNError
+from repro.nn import (
+    CHECKPOINT_FORMAT_VERSION,
+    Linear,
+    SpectralConv2d,
+    Tensor,
+    conv2d,
+    irfft2,
+    load_checkpoint,
+    max_pool2d,
+    rfft2,
+    save_checkpoint,
+)
+
+rng = np.random.default_rng(42)
+
+
+class TestRfft2:
+    def test_forward_matches_numpy(self):
+        x = rng.normal(size=(2, 5, 6))
+        out = rfft2(Tensor(x)).numpy()
+        spec = np.fft.rfft2(x, axes=(-2, -1))
+        assert out.shape == (2, 5, 4, 2)
+        np.testing.assert_allclose(out[..., 0], spec.real, atol=1e-12)
+        np.testing.assert_allclose(out[..., 1], spec.imag, atol=1e-12)
+
+    def test_rejects_1d(self):
+        with pytest.raises(NNError):
+            rfft2(Tensor(np.zeros(4)))
+
+    @pytest.mark.parametrize("shape", [(4, 5), (4, 6), (2, 3, 4)])
+    def test_gradcheck(self, shape):
+        value = rng.normal(size=shape)
+        weights = Tensor(rng.normal(size=np.fft.rfft2(value).shape + (2,)))
+        check_gradient(lambda t: (rfft2(t) * weights).sum(), value)
+
+    def test_roundtrip(self):
+        x = rng.normal(size=(3, 6, 7))
+        back = irfft2(rfft2(Tensor(x)), s=(6, 7)).numpy()
+        np.testing.assert_allclose(back, x, atol=1e-12)
+
+
+class TestIrfft2:
+    @pytest.mark.parametrize("s", [(4, 6), (4, 5)])
+    def test_forward_matches_numpy(self, s):
+        half = s[1] // 2 + 1
+        y = rng.normal(size=(2, s[0], half, 2))
+        out = irfft2(Tensor(y), s=s).numpy()
+        ref = np.fft.irfft2(y[..., 0] + 1j * y[..., 1], s=s, axes=(-2, -1))
+        np.testing.assert_allclose(out, ref, atol=1e-12)
+
+    def test_shape_validation(self):
+        with pytest.raises(NNError):
+            irfft2(Tensor(np.zeros((4, 3, 2))), s=(4, 6))  # half should be 4
+
+    @pytest.mark.parametrize("s", [(4, 6), (4, 5), (3, 4)])
+    def test_gradcheck(self, s):
+        # Even widths exercise the Nyquist-column adjoint scaling.
+        half = s[1] // 2 + 1
+        value = rng.normal(size=(s[0], half, 2))
+        weights = Tensor(rng.normal(size=s))
+        check_gradient(lambda t: (irfft2(t, s=s) * weights).sum(), value)
+
+
+class TestSpectralConv2d:
+    def test_output_shape(self):
+        layer = SpectralConv2d(2, 3, modes=(2, 2), rng=np.random.default_rng(1))
+        out = layer(Tensor(rng.normal(size=(4, 2, 8, 8))))
+        assert out.shape == (4, 3, 8, 8)
+
+    def test_resolution_independent(self):
+        layer = SpectralConv2d(1, 2, modes=(2, 2), rng=np.random.default_rng(1))
+        assert layer(Tensor(rng.normal(size=(1, 1, 8, 8)))).shape == (1, 2, 8, 8)
+        assert layer(Tensor(rng.normal(size=(1, 1, 6, 10)))).shape == (1, 2, 6, 10)
+
+    def test_validation(self):
+        layer = SpectralConv2d(2, 2, modes=(3, 3), rng=np.random.default_rng(1))
+        with pytest.raises(NNError):
+            layer(Tensor(np.zeros((1, 2, 4, 8))))  # 2*m1 > H
+        with pytest.raises(NNError):
+            layer(Tensor(np.zeros((1, 1, 8, 8))))  # channel mismatch
+        with pytest.raises(NNError):
+            SpectralConv2d(1, 1, modes=(0, 2))
+
+    def test_linear_in_input(self):
+        layer = SpectralConv2d(1, 1, modes=(2, 2), rng=np.random.default_rng(2))
+        a = rng.normal(size=(1, 1, 6, 6))
+        b = rng.normal(size=(1, 1, 6, 6))
+        out_sum = layer(Tensor(a + 2.0 * b)).numpy()
+        parts = layer(Tensor(a)).numpy() + 2.0 * layer(Tensor(b)).numpy()
+        np.testing.assert_allclose(out_sum, parts, atol=1e-10)
+
+    def test_gradcheck_input(self):
+        layer = SpectralConv2d(2, 2, modes=(2, 2), rng=np.random.default_rng(3))
+        value = rng.normal(size=(1, 2, 6, 6))
+        check_gradient(lambda t: (layer(t) ** 2).sum(), value, atol=1e-5)
+
+    @pytest.mark.parametrize("name", ["weight_pos", "weight_neg"])
+    def test_gradcheck_weights(self, name):
+        layer = SpectralConv2d(2, 2, modes=(2, 2), rng=np.random.default_rng(4))
+        x = Tensor(rng.normal(size=(1, 2, 6, 6)))
+        param = getattr(layer, name)
+        value = param.data.copy()
+
+        layer.zero_grad()
+        (layer(x) ** 2).sum().backward()
+        analytic = param.grad.copy()
+
+        def scalar_fn(arr):
+            param.data = arr
+            return float(((layer(x) ** 2).sum()).data)
+
+        numeric = numeric_gradient(scalar_fn, value.copy())
+        param.data = value
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5, rtol=1e-4)
+
+
+class TestConvPoolGradchecks:
+    def test_conv2d_input_grad(self):
+        weight = Tensor(rng.normal(size=(2, 3, 3, 3)))
+        value = rng.normal(size=(2, 3, 5, 5))
+        check_gradient(
+            lambda t: (conv2d(t, weight, padding=1) ** 2).sum(), value, atol=1e-5
+        )
+
+    def test_conv2d_weight_grad(self):
+        x = Tensor(rng.normal(size=(2, 3, 5, 5)))
+        value = rng.normal(size=(2, 3, 3, 3))
+        check_gradient(
+            lambda t: (conv2d(x, t, stride=2) ** 2).sum(), value, atol=1e-5
+        )
+
+    def test_conv2d_bias_grad(self):
+        x = Tensor(rng.normal(size=(2, 2, 4, 4)))
+        weight = Tensor(rng.normal(size=(3, 2, 3, 3)))
+        value = rng.normal(size=(3,))
+        check_gradient(
+            lambda t: (conv2d(x, weight, bias=t) ** 2).sum(), value, atol=1e-5
+        )
+
+    def test_max_pool2d_grad(self):
+        # Distinct values keep argmax ties (non-differentiable points) away.
+        value = rng.permutation(64).astype(np.float64).reshape(1, 1, 8, 8)
+        check_gradient(lambda t: (max_pool2d(t, kernel=2) ** 2).sum(), value)
+
+
+class TestCheckpointFormat:
+    def test_module_save_load_roundtrip(self, tmp_path):
+        model = Linear(4, 3, rng=np.random.default_rng(5))
+        path = str(tmp_path / "model.npz")
+        model.save(path)
+
+        other = Linear(4, 3, rng=np.random.default_rng(99))
+        other.load(path)
+        np.testing.assert_array_equal(other.weight.data, model.weight.data)
+        # No temp residue left next to the checkpoint.
+        assert os.listdir(tmp_path) == ["model.npz"]
+
+    def test_checkpoint_bytes_deterministic(self, tmp_path):
+        model = Linear(4, 3, rng=np.random.default_rng(5))
+        p1, p2 = str(tmp_path / "a.npz"), str(tmp_path / "b.npz")
+        model.save(p1)
+        model.save(p2)
+        with open(p1, "rb") as f1, open(p2, "rb") as f2:
+            assert f1.read() == f2.read()
+
+    def test_extra_metadata_roundtrip(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        state = {"w": rng.normal(size=(2, 2))}
+        save_checkpoint(path, state, extra={"width": 12, "modes": [3, 3]})
+        loaded, extra = load_checkpoint(path)
+        np.testing.assert_array_equal(loaded["w"], state["w"])
+        assert int(extra["width"]) == 12
+        assert extra["modes"].tolist() == [3, 3]
+
+    def test_fingerprint_rejects_corruption(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, {"w": np.ones((2, 2))})
+        with np.load(path) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["w"] = payload["w"] + 1.0  # corrupt a parameter, keep meta
+        np.savez_compressed(path, **payload)
+        with pytest.raises(NNError, match="fingerprint"):
+            load_checkpoint(path)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, {"w": np.ones(2)})
+        with np.load(path) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["__repro_ckpt_version"] = np.array(CHECKPOINT_FORMAT_VERSION + 1)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(NNError, match="version"):
+            load_checkpoint(path)
+
+    def test_legacy_meta_free_npz_loads(self, tmp_path):
+        model = Linear(3, 2, rng=np.random.default_rng(6))
+        path = str(tmp_path / "legacy.npz")
+        np.savez_compressed(path, **model.state_dict())
+        other = Linear(3, 2, rng=np.random.default_rng(7))
+        other.load(path)
+        np.testing.assert_array_equal(other.weight.data, model.weight.data)
+
+    def test_meta_name_collision_rejected(self, tmp_path):
+        with pytest.raises(NNError, match="collides"):
+            save_checkpoint(
+                str(tmp_path / "x.npz"), {"__repro_ckpt_version": np.ones(1)}
+            )
