@@ -223,6 +223,8 @@ def cmd_optimize(args) -> int:
     config = LithoConfig(
         pixel_nm=args.pixel_nm,
         max_kernels=args.max_kernels,
+        backend=args.backend,
+        device=args.device,
         fft_backend=args.fft_backend,
         spectra_store=_store_root(args),
     )
@@ -317,6 +319,8 @@ def cmd_resume(args) -> int:
     config = LithoConfig(
         pixel_nm=args.pixel_nm,
         max_kernels=args.max_kernels,
+        backend=args.backend,
+        device=args.device,
         fft_backend=args.fft_backend,
         spectra_store=_store_root(args),
     )
@@ -387,6 +391,8 @@ def cmd_serve(args) -> int:
     config = LithoConfig(
         pixel_nm=args.pixel_nm,
         max_kernels=args.max_kernels,
+        backend=args.backend,
+        device=args.device,
         fft_backend=args.fft_backend,
         spectra_store=_store_root(args),
     )
@@ -492,6 +498,8 @@ def cmd_train_surrogate(args) -> int:
     config = LithoConfig(
         pixel_nm=args.pixel_nm,
         max_kernels=args.max_kernels,
+        backend=args.backend,
+        device=args.device,
         fft_backend=args.fft_backend,
         spectra_store=_store_root(args),
     )
@@ -566,18 +574,26 @@ def cmd_table(args) -> int:
 
 
 def cmd_bench_info(args) -> int:
-    from repro.litho.fft import resolve_fft_backend, scipy_fft_available
+    from repro.backend import (
+        resolve_backend,
+        scipy_fft_available,
+        torch_available,
+    )
     from repro.litho.simulator import LithoConfig, LithographySimulator
     from repro.litho.store import SPECTRA_STORE_ENV, open_store
     from repro.service import available_engines
 
-    backend = resolve_fft_backend(args.fft_backend)
+    requested = args.backend
+    if args.fft_backend is not None and requested == "auto":
+        requested = args.fft_backend
+    backend = resolve_backend(requested, device=args.device)
     print(f"repro {__version__}")
     print(f"python        : {sys.version.split()[0]}")
     print(f"cpu cores     : {os.cpu_count()}")
     print(f"scipy fft     : {'available' if scipy_fft_available() else 'absent'}")
-    print(f"fft backend   : {args.fft_backend!r} -> {backend.name} "
-          f"(workers={backend.workers})")
+    print(f"torch         : {'available' if torch_available() else 'absent'}")
+    print(f"array backend : {requested!r} -> {backend.name} "
+          f"(workers={backend.workers}, device={backend.device})")
     print(f"engines       : {', '.join(available_engines())}")
 
     root = _store_root(args)
@@ -590,6 +606,7 @@ def cmd_bench_info(args) -> int:
 
     config = LithoConfig(
         pixel_nm=args.pixel_nm, max_kernels=args.max_kernels,
+        backend=args.backend, device=args.device,
         fft_backend=args.fft_backend, spectra_store=root,
     )
     simulator = LithographySimulator(config)
@@ -615,9 +632,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="raster pitch (default 4 nm)")
         p.add_argument("--max-kernels", type=int, default=max_kernels_default,
                        help="SOCS kernel cap per corner")
-        p.add_argument("--fft-backend", default="auto",
+        p.add_argument("--backend", default="auto",
+                       choices=["auto", "numpy", "scipy", "torch", "cupy"],
+                       help="array/device backend (default auto: scipy "
+                            "threads when available, else numpy; torch "
+                            "must be requested explicitly)")
+        p.add_argument("--device", default=None, metavar="DEV",
+                       help="device for the torch backend (cpu, cuda, "
+                            "cuda:N; default: cuda when available)")
+        p.add_argument("--fft-backend", default=None,
                        choices=["auto", "numpy", "scipy"],
-                       help="transform library (default auto)")
+                       help="deprecated alias of --backend (host "
+                            "transform libraries only)")
         p.add_argument("--store", default=None, metavar="DIR",
                        help="kernel-spectra store directory "
                             "(default: $REPRO_SPECTRA_STORE)")

@@ -11,11 +11,14 @@ no separate screening mode).  A constant-threshold resist model with
 dose/defocus process corners yields printed contours and the PV band.
 """
 
-from repro.litho.fft import (
+from repro.backend import (
+    ArrayBackend,
     FFTBackend,
     next_fast_len,
+    resolve_backend,
     resolve_fft_backend,
     scipy_fft_available,
+    torch_available,
 )
 from repro.litho.source import SourceSpec, source_weights
 from repro.litho.pupil import pupil_function
@@ -32,10 +35,13 @@ from repro.litho.simulator import LithographySimulator, LithoConfig, LithoResult
 from repro.litho.store import KernelSpectraStore, open_store, optics_fingerprint
 
 __all__ = [
+    "ArrayBackend",
     "FFTBackend",
     "next_fast_len",
+    "resolve_backend",
     "resolve_fft_backend",
     "scipy_fft_available",
+    "torch_available",
     "SourceSpec",
     "source_weights",
     "pupil_function",

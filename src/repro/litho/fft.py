@@ -1,140 +1,45 @@
-"""Pluggable FFT backend for the lithography engines.
+"""Backward-compatible shim over :mod:`repro.backend`.
 
-Every forward/inverse transform in :mod:`repro.litho.kernels` (both the
-full-grid reference path and the band-limited subgrid engine) runs
-through one :class:`FFTBackend` so the whole simulate path can switch
-transform libraries in a single place:
+The pluggable FFT backend that used to live here grew into the full
+array/device backend (:class:`repro.backend.ArrayBackend`): one
+abstraction now carries the array namespace, the FFT entry points,
+host/device movement and the dtype policy for every numerical layer —
+litho kernels, sparse metrology, and the surrogate.  This module
+re-exports the old names so existing imports keep working:
 
-* ``"numpy"`` — ``np.fft``; single-threaded, bit-for-bit reproducible,
-  and the backend the committed golden images were generated with.
-* ``"scipy"`` — ``scipy.fft`` with ``workers=`` threading; on multi-core
-  hosts the batched ``(B, H, W)`` transforms parallelize across the batch
-  axis.  Results agree with numpy to ~1e-12 (both wrap pocketfft, but the
-  SIMD kernels sum in a different order), which is far inside the 1e-9
-  golden tolerance but *not* bit-for-bit.
-* ``"auto"`` — scipy with threads when scipy is importable *and* more
-  than one core is available, numpy otherwise.  Single-core hosts
-  therefore keep exact bit-for-bit reproducibility with the seed history
-  by construction.
+* :class:`FFTBackend` is an alias of :class:`~repro.backend.ArrayBackend`.
+* :func:`resolve_fft_backend` forwards to
+  :func:`~repro.backend.resolve_backend` (host spellings unchanged).
+* :func:`next_fast_len` / :func:`scipy_fft_available` moved wholesale.
 
-Backends are resolved once per ``(name, workers)`` pair and shared; both
-the single-mask and batched engines of one
-:class:`~repro.litho.kernels.OpticalKernelSet` always use the same
-backend, so batch-vs-single parity stays bit-for-bit regardless of the
-library chosen.
+New code should import from :mod:`repro.backend` directly.
 """
 
 from __future__ import annotations
 
-import os
-from dataclasses import dataclass
-from functools import lru_cache
+from repro.backend import (
+    BACKEND_NAMES,
+    FFT_BACKEND_NAMES,
+    ArrayBackend,
+    FFTBackend,
+    _is_5_smooth,
+    cupy_available,
+    next_fast_len,
+    resolve_backend,
+    resolve_fft_backend,
+    scipy_fft_available,
+    torch_available,
+)
 
-import numpy as np
-
-from repro.errors import LithoError
-
-try:  # scipy is optional; everything falls back to np.fft without it.
-    import scipy.fft as _scipy_fft
-except ImportError:  # pragma: no cover - depends on the environment
-    _scipy_fft = None
-
-FFT_BACKEND_NAMES = ("auto", "numpy", "scipy")
-
-
-def _is_5_smooth(n: int) -> bool:
-    for p in (2, 3, 5):
-        while n % p == 0:
-            n //= p
-    return n == 1
-
-
-def next_fast_len(n: int) -> int:
-    """Smallest 5-smooth integer >= ``n`` (fast FFT length).
-
-    When scipy is importable its C implementation drives the search;
-    scipy's notion of "fast" admits factors of 7 and 11, so its answer is
-    a *lower bound* that we re-check and advance past until it lands on a
-    5-smooth value (subgrid sizes are part of the numerical contract —
-    the chosen length must not depend on whether scipy is installed).
-    The pure-python upward scan is the fallback and the reference.
-    """
-    if n < 1:
-        raise LithoError(f"FFT length must be positive, got {n}")
-    best = n
-    while True:
-        if _scipy_fft is not None:
-            # next_fast_len(m) == m for any 7/11-smooth m, so each miss
-            # strictly advances `best` and the loop terminates at the
-            # first 5-smooth value, identical to the naive scan.
-            best = _scipy_fft.next_fast_len(best)
-        if _is_5_smooth(best):
-            return best
-        best += 1
-
-
-def scipy_fft_available() -> bool:
-    """Whether the scipy backend can actually be constructed."""
-    return _scipy_fft is not None
-
-
-@dataclass(frozen=True)
-class FFTBackend:
-    """2-D FFT entry points bound to one transform library.
-
-    ``workers`` is the thread count handed to ``scipy.fft`` (ignored by
-    the numpy backend, which is single-threaded).
-    """
-
-    name: str
-    workers: int
-
-    def fft2(self, a: np.ndarray, axes: tuple[int, int] = (-2, -1)) -> np.ndarray:
-        if self.name == "scipy":
-            return _scipy_fft.fft2(a, axes=axes, workers=self.workers)
-        return np.fft.fft2(a, axes=axes)
-
-    def ifft2(self, a: np.ndarray, axes: tuple[int, int] = (-2, -1)) -> np.ndarray:
-        if self.name == "scipy":
-            return _scipy_fft.ifft2(a, axes=axes, workers=self.workers)
-        return np.fft.ifft2(a, axes=axes)
-
-    def rfft2(self, a: np.ndarray, axes: tuple[int, int] = (-2, -1)) -> np.ndarray:
-        """Real-input forward transform (half-width spectrum along the
-        last axis).  The sparse EPE path pairs this with a Hermitian
-        band gather — roughly halving the forward-transform cost that
-        dominates its runtime."""
-        if self.name == "scipy":
-            return _scipy_fft.rfft2(a, axes=axes, workers=self.workers)
-        return np.fft.rfft2(a, axes=axes)
-
-
-@lru_cache(maxsize=8)
-def resolve_fft_backend(
-    name: str = "auto", workers: int | None = None
-) -> FFTBackend:
-    """Build (and cache) the backend for a configuration name.
-
-    Args:
-        name: ``"auto"``, ``"numpy"`` or ``"scipy"``.  ``"scipy"`` falls
-            back to numpy when scipy is not importable, matching the
-            "use scipy when available" contract.
-        workers: Thread count for scipy; ``None`` means all cores.
-    """
-    if name not in FFT_BACKEND_NAMES:
-        raise LithoError(
-            f"unknown FFT backend {name!r}; choose one of {FFT_BACKEND_NAMES}"
-        )
-    cores = os.cpu_count() or 1
-    resolved_workers = cores if workers is None else int(workers)
-    if resolved_workers < 1:
-        raise LithoError(f"fft workers must be >= 1, got {workers}")
-    if name == "auto":
-        name = (
-            "scipy"
-            if scipy_fft_available() and resolved_workers > 1 and cores > 1
-            else "numpy"
-        )
-    elif name == "scipy" and not scipy_fft_available():
-        name = "numpy"
-    return FFTBackend(name=name, workers=resolved_workers)
+__all__ = [
+    "BACKEND_NAMES",
+    "FFT_BACKEND_NAMES",
+    "ArrayBackend",
+    "FFTBackend",
+    "cupy_available",
+    "next_fast_len",
+    "resolve_backend",
+    "resolve_fft_backend",
+    "scipy_fft_available",
+    "torch_available",
+]

@@ -54,7 +54,7 @@ import numpy as np
 
 from repro.constants import NUMERICAL_APERTURE, WAVELENGTH_NM
 from repro.errors import LithoError
-from repro.litho.fft import FFTBackend, next_fast_len, resolve_fft_backend
+from repro.backend import ArrayBackend, next_fast_len, resolve_backend
 from repro.litho.source import SourceSpec
 from repro.litho.tcc import build_tcc, build_tcc_grid, socs_kernels, socs_spectra
 
@@ -64,14 +64,25 @@ def _band_indices(n: int, radius: int) -> np.ndarray:
     return np.r_[0 : radius + 1, n - radius : n]
 
 
-_PHASE_CACHE: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+_HOST_BACKEND_ARGS = ("numpy", 1)
+"""``resolve_backend`` arguments of the single-threaded host backend the
+module-level helpers default to when no backend is passed — numerically
+identical to the pre-array-API behavior (bare ``np.*`` calls)."""
+
+
+def _host_backend() -> ArrayBackend:
+    return resolve_backend(*_HOST_BACKEND_ARGS)
+
+
+_PHASE_CACHE: "OrderedDict[tuple, object]" = OrderedDict()
 _PHASE_CACHE_CAPACITY = 32
 _PHASE_LOCK = threading.Lock()
 """Module-level LRU of sparse-gather phase matrices.  Keyed by (grid
-shape, band radii, pixel set), so every kernel set sharing one optics
-geometry — the simulator's focus and defocus sets in particular — reuses
-one matrix; guarded because the daemon's verifier thread races
-``score_moves_epe`` callers."""
+shape, band radii, pixel set, backend array identity), so every kernel
+set sharing one optics geometry — the simulator's focus and defocus sets
+in particular — reuses one matrix, and a device backend can never be
+served a host-resident matrix (or vice versa); guarded because the
+daemon's verifier thread races ``score_moves_epe`` callers."""
 
 
 def _sparse_phase_matrix(
@@ -79,7 +90,8 @@ def _sparse_phase_matrix(
     band: GridBandSpectra,
     rows: np.ndarray,
     cols: np.ndarray,
-) -> np.ndarray:
+    backend: ArrayBackend,
+):
     """Real-stacked inverse-DFT phase matrix for a fixed pixel set.
 
     Evaluating the zero-padded inverse FFT of ``_band_intensity`` at S
@@ -90,12 +102,18 @@ def _sparse_phase_matrix(
     ``(2F, S)`` — ``[[Re P], [-Im P]]`` — so the per-batch evaluation is
     one real GEMM of the ``[Re spec, Im spec]`` stack against it (half
     the FLOPs of the complex product, result already real).
+
+    The matrix itself is built host-side in float64 on every backend
+    (identical bits everywhere); what the cache stores is the
+    backend-native copy — the host array itself for numpy/scipy, a
+    device tensor for torch — keyed by the backend's array identity.
     """
     key = (
         shape,
         band.band,
         rows.tobytes(),
         cols.tobytes(),
+        backend.array_identity,
     )
     with _PHASE_LOCK:
         cached = _PHASE_CACHE.get(key)
@@ -113,7 +131,9 @@ def _sparse_phase_matrix(
     matrix = (phase_r[:, None, :] * phase_c[None, :, :]).reshape(
         len(k_rows) * len(k_cols), len(rows)
     ) / (m0 * m1)
-    stacked = np.concatenate([matrix.real, -matrix.imag], axis=0)
+    stacked = backend.to_device(
+        np.concatenate([matrix.real, -matrix.imag], axis=0)
+    )
     with _PHASE_LOCK:
         _PHASE_CACHE[key] = stacked
         while len(_PHASE_CACHE) > _PHASE_CACHE_CAPACITY:
@@ -180,7 +200,11 @@ class GridBandSpectra:
         return len(self.weights)
 
 
-def gather_band_rfft(mask_rffts: np.ndarray, band: GridBandSpectra) -> np.ndarray:
+def gather_band_rfft(
+    mask_rffts,
+    band: GridBandSpectra,
+    backend: ArrayBackend | None = None,
+):
     """Pupil-band gather from half-width ``rfft2`` spectra onto the subgrid.
 
     A real mask's spectrum is Hermitian, ``F[r, c] = conj(F[(-r) % H,
@@ -189,24 +213,30 @@ def gather_band_rfft(mask_rffts: np.ndarray, band: GridBandSpectra) -> np.ndarra
     match the full-spectrum gather to FFT round-off (the rfft sums in a
     different order — not bit-for-bit).  Public module-level entry point:
     the surrogate's feature pipeline shares it with the sparse EPE path.
+    Runs on whatever arrays ``backend`` holds — spectra on a device stay
+    on that device (default: host numpy, unchanged behavior).
     """
+    backend = backend or _host_backend()
+    idx = backend.index
     rows, _ = band.shape
     b1 = band.band[1]
     m0, m1 = band.subgrid
     rows_src = band.rows_src
-    gathered = np.empty(
+    gathered = backend.empty(
         (mask_rffts.shape[0], len(rows_src), len(band.cols_src)),
-        dtype=np.complex128,
+        backend.complex128,
     )
     gathered[..., : b1 + 1] = mask_rffts[
-        :, rows_src[:, None], np.arange(b1 + 1)[None, :]
+        :, idx(rows_src[:, None]), idx(np.arange(b1 + 1)[None, :])
     ]
     flipped = (rows - rows_src) % rows
-    gathered[..., b1 + 1 :] = np.conj(
-        mask_rffts[:, flipped[:, None], np.arange(b1, 0, -1)[None, :]]
+    gathered[..., b1 + 1 :] = mask_rffts[
+        :, idx(flipped[:, None]), idx(np.arange(b1, 0, -1)[None, :])
+    ].conj()
+    sub = backend.zeros(
+        (mask_rffts.shape[0], m0, m1), backend.complex128
     )
-    sub = np.zeros((mask_rffts.shape[0], m0, m1), dtype=np.complex128)
-    sub[:, band.rows_dst[:, None], band.cols_dst[None, :]] = gathered
+    sub[:, idx(band.rows_dst[:, None]), idx(band.cols_dst[None, :])] = gathered
     return sub
 
 
@@ -225,21 +255,25 @@ def band_limited_mask_subgrid(
     """
     rows, cols = band.shape
     m0, m1 = band.subgrid
-    sub = gather_band_rfft(mask_rffts, band)
-    return fft.ifft2(sub, axes=(-2, -1)).real * ((m0 * m1) / (rows * cols))
+    sub = gather_band_rfft(mask_rffts, band, fft)
+    return fft.to_host(
+        fft.ifft2(sub, axes=(-2, -1)).real * ((m0 * m1) / (rows * cols))
+    )
 
 
-_BAND_DFT_CACHE: "OrderedDict[tuple, tuple[np.ndarray, np.ndarray]]" = OrderedDict()
+_BAND_DFT_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
 _BAND_DFT_CACHE_CAPACITY = 16
 _BAND_DFT_LOCK = threading.Lock()
 """LRU of the separable direct-DFT matrices used by
-:func:`band_limited_mask_subgrid_direct`; keyed per (grid shape, band)."""
+:func:`band_limited_mask_subgrid_direct`; keyed per (grid shape, band,
+backend array identity) — matrices are built host-side and cached as
+backend-native copies, like the sparse phase matrices."""
 
 
 def _band_dft_matrices(
-    shape: tuple[int, int], band: GridBandSpectra
-) -> tuple[np.ndarray, np.ndarray]:
-    key = (shape, band.band)
+    shape: tuple[int, int], band: GridBandSpectra, backend: ArrayBackend
+) -> tuple:
+    key = (shape, band.band, backend.array_identity)
     with _BAND_DFT_LOCK:
         cached = _BAND_DFT_CACHE.get(key)
         if cached is not None:
@@ -261,7 +295,7 @@ def _band_dft_matrices(
     right_ri = np.ascontiguousarray(
         np.concatenate([right.real, right.imag], axis=1)
     )
-    pair = (left, right_ri)
+    pair = (backend.to_device(left), backend.to_device(right_ri))
     with _BAND_DFT_LOCK:
         _BAND_DFT_CACHE[key] = pair
         while len(_BAND_DFT_CACHE) > _BAND_DFT_CACHE_CAPACITY:
@@ -270,8 +304,8 @@ def _band_dft_matrices(
 
 
 def band_limited_mask_subgrid_direct(
-    masks: np.ndarray, band: GridBandSpectra
-) -> np.ndarray:
+    masks, band: GridBandSpectra, backend: ArrayBackend | None = None
+):
     """:func:`band_limited_mask_subgrid` without the full-grid transform.
 
     The pupil band holds only ``(2 b0 + 1) x (2 b1 + 1)`` coefficients, so
@@ -279,41 +313,53 @@ def band_limited_mask_subgrid_direct(
     DFT matrices beat a ``(B, H, W)`` forward FFT that computes ``H W``
     coefficients and discards almost all of them.  Values agree with the
     FFT route to float round-off (same linear map, different summation
-    order); the fast path of the surrogate screener.
+    order); the fast path of the surrogate screener.  Under a device
+    backend the two GEMMs (and the result) live on the device.
     """
-    masks = np.asarray(masks, dtype=np.float64)
-    left, right_ri = _band_dft_matrices(band.shape, band)
+    backend = backend or _host_backend()
+    masks = backend.asarray_f64(masks)
+    left, right_ri = _band_dft_matrices(band.shape, band, backend)
     half = right_ri.shape[1] // 2
     mixed = masks @ right_ri
     col_re, col_im = mixed[..., :half], mixed[..., half:]
     coeffs = (left.real @ col_re - left.imag @ col_im) + 1j * (
         left.real @ col_im + left.imag @ col_re
     )
-    return band_coeffs_to_subgrid(coeffs, band)
+    return band_coeffs_to_subgrid(coeffs, band, backend)
 
 
 def band_coeffs_to_subgrid(
-    coeffs: np.ndarray, band: GridBandSpectra
-) -> np.ndarray:
+    coeffs, band: GridBandSpectra, backend: ArrayBackend | None = None
+):
     """Real-space subgrid signal of ``(B, 2 b0 + 1, b1 + 1)`` band coefficients.
 
     ``coeffs`` are full-grid DFT coefficients at the band frequencies (row
     order ``_band_indices``); the subgrid scatter plus a small inverse FFT
-    reproduce :func:`band_limited_mask_subgrid`'s output scale.
+    reproduce :func:`band_limited_mask_subgrid`'s output scale.  Host
+    backends keep the historical ``np.fft`` inverse transform (the
+    subgrid is ~30x30 — threading never pays here, and the numpy route
+    stays bit-for-bit with the seed history); the torch backend runs the
+    inverse transform on its device and returns a device array.
     """
+    backend = backend or _host_backend()
     m0, m1 = band.subgrid
     rows, cols = band.shape
-    sub = np.zeros((coeffs.shape[0], m0, m1), dtype=np.complex128)
-    sub[:, band.rows_dst[:, None], band.cols_dst[None, :]] = coeffs
-    return np.fft.ifft2(sub, axes=(-2, -1)).real * ((m0 * m1) / (rows * cols))
+    sub = backend.zeros((coeffs.shape[0], m0, m1), backend.complex128)
+    idx = backend.index
+    sub[:, idx(band.rows_dst[:, None]), idx(band.cols_dst[None, :])] = coeffs
+    if backend.is_numpy:
+        return np.fft.ifft2(sub, axes=(-2, -1)).real * (
+            (m0 * m1) / (rows * cols)
+        )
+    return backend.ifft2(sub, axes=(-2, -1)).real * ((m0 * m1) / (rows * cols))
 
 
 def band_values_at_pixels(
-    intensity_sub: np.ndarray,
+    intensity_sub,
     band: GridBandSpectra,
     rows: np.ndarray,
     cols: np.ndarray,
-    fft,
+    fft: ArrayBackend,
 ) -> np.ndarray:
     """Full-grid pixel values of a band-limited subgrid intensity.
 
@@ -321,14 +367,20 @@ def band_values_at_pixels(
     evaluate at S full-grid pixels via one forward FFT and one real GEMM
     against the cached phase matrix — the same direct DFT gather the
     sparse EPE path uses, factored out so surrogate predictions can ride
-    the identical resample map as exact metrology.
+    the identical resample map as exact metrology.  ``intensity_sub``
+    may be host or device resident; the FFT and GEMM run wherever the
+    backend's arrays live, and the resolved ``(B, S)`` values always
+    come back host-side (the metrology boundary).
     """
+    idx = fft.index
     spectrum = fft.fft2(intensity_sub, axes=(-2, -1))
     spec_band = spectrum[
-        :, band.up_rows_src[:, None], band.up_cols_src[None, :]
+        :, idx(band.up_rows_src[:, None]), idx(band.up_cols_src[None, :])
     ].reshape(intensity_sub.shape[0], -1)
-    stacked = np.concatenate([spec_band.real, spec_band.imag], axis=1)
-    return stacked @ _sparse_phase_matrix(band.shape, band, rows, cols)
+    stacked = fft.concat([spec_band.real, spec_band.imag], axis=1)
+    return fft.to_host(
+        stacked @ _sparse_phase_matrix(band.shape, band, rows, cols, fft)
+    )
 
 
 @dataclass
@@ -362,11 +414,18 @@ class OpticalKernelSet:
             never recorded it).
         fft_cache_capacity: Max distinct grid shapes kept resident in
             each bounded LRU (band spectra, full-grid transfer stacks).
-        fft_backend / fft_workers: Transform library selection (see
-            :mod:`repro.litho.fft`).  All entry points share the one
-            backend; cached FFT-derived artifacts are keyed by backend
-            identity, so swapping the backend can never serve stale
-            spectra.
+        fft_backend / fft_workers / device: Array/transform backend
+            selection (see :mod:`repro.backend`) — ``fft_backend``
+            accepts every :data:`~repro.backend.BACKEND_NAMES` spelling
+            including ``"torch"``, and ``device`` picks the torch device
+            (``None`` = CUDA when available).  All entry points share
+            the one resolved :class:`~repro.backend.ArrayBackend`;
+            cached FFT-derived artifacts are keyed by backend identity
+            (+ device), so swapping the backend can never serve stale or
+            wrong-device spectra.  Device execution lives on the compact
+            band path (batched subgrid convolution, sparse gathers); the
+            dense full-grid fallback, the single-mask reference path and
+            legacy spatial sets always run host-side.
         spectra_store: Optional disk-persistent store
             (:class:`repro.litho.store.KernelSpectraStore`) consulted on
             band-spectra misses before building, and written after every
@@ -390,6 +449,7 @@ class OpticalKernelSet:
     fft_cache_capacity: int = 6
     fft_backend: str = "auto"
     fft_workers: int | None = None
+    device: str | None = None
     spectra_store: object | None = None
     _band_cache: "OrderedDict[tuple[int, int], GridBandSpectra]" = field(
         default_factory=OrderedDict, repr=False
@@ -427,7 +487,7 @@ class OpticalKernelSet:
                 f"fft_cache_capacity must be >= 1, got {self.fft_cache_capacity}"
             )
         # Resolve eagerly so a bad backend name fails at construction.
-        resolve_fft_backend(self.fft_backend, self.fft_workers)
+        resolve_backend(self.fft_backend, self.fft_workers, self.device)
 
     # -- provenance / backend ------------------------------------------------
     @property
@@ -436,9 +496,22 @@ class OpticalKernelSet:
         return self.source is not None and self.kernels is None
 
     @property
-    def fft(self) -> FFTBackend:
-        """The resolved transform backend shared by every entry point."""
-        return resolve_fft_backend(self.fft_backend, self.fft_workers)
+    def fft(self) -> ArrayBackend:
+        """The resolved array backend shared by every entry point.
+
+        Kept under its historical name — it began as an FFT-only
+        backend — but it now carries the full array namespace, device
+        policy and dtype policy (:class:`repro.backend.ArrayBackend`).
+        """
+        return resolve_backend(self.fft_backend, self.fft_workers, self.device)
+
+    def _host_fft(self) -> ArrayBackend:
+        """The host-side backend for paths that are host-only by design
+        (single-mask reference, dense fallback, legacy spatial sets,
+        ILT field gradients).  Numpy/scipy backends pass through; a
+        device backend degrades to single-threaded numpy."""
+        fft = self.fft
+        return fft if fft.is_numpy else resolve_backend("numpy", 1)
 
     @property
     def count(self) -> int:
@@ -581,8 +654,11 @@ class OpticalKernelSet:
         if self.is_native:
             cache_key = (key, "band")
         else:
-            backend = self.fft
-            cache_key = (key, backend.name, backend.workers)
+            # Legacy spatial sets transform host-side (see _host_fft);
+            # the full resolved identity keys the cache so one set
+            # shared across configs can never serve spectra computed by
+            # another backend's transform.
+            cache_key = (key, *self._host_fft().identity)
         with self._cache_lock:
             return self._kernel_spectra_locked(key, cache_key)
 
@@ -612,7 +688,7 @@ class OpticalKernelSet:
                 padded[:c, :c] = self.kernels[k]
                 # Centre the kernel on pixel (0, 0) for circular convolution.
                 padded = np.roll(padded, (-half, -half), axis=(0, 1))
-                stack[k] = self.fft.fft2(padded, axes=(-2, -1))
+                stack[k] = self._host_fft().fft2(padded, axes=(-2, -1))
         self._fft_cache[cache_key] = stack
         while len(self._fft_cache) > self.fft_cache_capacity:
             self._fft_cache.popitem(last=False)
@@ -630,22 +706,30 @@ class OpticalKernelSet:
                 f"grid {shape} cannot hold kernels with ambit {self.ambit_px}"
             )
 
-    def validate_mask_batch(self, masks: np.ndarray) -> np.ndarray:
-        """Check and coerce a ``(B, H, W)`` stack of rasterized masks."""
-        stack = np.asarray(masks)
+    def validate_mask_batch(self, masks):
+        """Check and coerce a ``(B, H, W)`` stack of rasterized masks.
+
+        Returns the stack as the backend's native float64 array: a host
+        numpy array under numpy/scipy (no-copy for float64 input, bit
+        for bit as before), a device tensor under torch — host masks are
+        moved to the device here, device masks stay put.
+        """
+        backend = self.fft
+        stack = backend.asarray_f64(masks)
         if stack.ndim != 3:
             raise LithoError(
-                f"mask batch must be 3-D (B, H, W), got shape {stack.shape}"
+                f"mask batch must be 3-D (B, H, W), got shape "
+                f"{tuple(stack.shape)}"
             )
         if stack.shape[0] == 0:
             raise LithoError("mask batch is empty")
         if not self.is_native and min(stack.shape[1:]) < self.ambit_px:
             raise LithoError(
-                f"batch masks {stack.shape[1:]} smaller than kernel ambit "
-                f"{self.ambit_px}"
+                f"batch masks {tuple(stack.shape[1:])} smaller than kernel "
+                f"ambit {self.ambit_px}"
             )
         self._validate_grid(tuple(stack.shape[1:]))
-        return stack.astype(np.float64, copy=False)
+        return stack
 
     # -- convolution ---------------------------------------------------------
     def convolve_intensity(self, mask: np.ndarray) -> np.ndarray:
@@ -653,14 +737,17 @@ class OpticalKernelSet:
 
         This is the retained *spatial reference path*: one full-grid
         inverse FFT per kernel over the scattered spectra.  ``mask`` is a
-        2-D real array (binary or graytone).
+        2-D real array (binary or graytone).  Always runs host-side —
+        it is the numerical reference the device paths are tested
+        against, so it must not depend on the device library.
         """
+        mask = self.fft.to_host(mask)
         if mask.ndim != 2:
             raise LithoError(f"mask must be 2-D, got shape {mask.shape}")
         self._validate_grid(mask.shape)
         kernel_ffts = self.kernel_spectra(mask.shape)
         weights = self.weights_for(mask.shape)
-        fft = self.fft
+        fft = self._host_fft()
         mask_fft = fft.fft2(mask.astype(np.float64), axes=(-2, -1))
         intensity = np.zeros(mask.shape, dtype=np.float64)
         for weight, kernel_fft in zip(weights, kernel_ffts):
@@ -703,19 +790,54 @@ class OpticalKernelSet:
         return self._full_grid_intensity(mask_ffts, shape)
 
     def _gather_band(
-        self, mask_ffts: np.ndarray, band: GridBandSpectra
-    ) -> np.ndarray:
+        self, mask_ffts, band: GridBandSpectra
+    ):
         """Pupil-band mask coefficients scattered onto the subgrid."""
+        backend = self.fft
+        idx = backend.index
         m0, m1 = band.subgrid
-        sub = np.zeros((mask_ffts.shape[0], m0, m1), dtype=np.complex128)
-        sub[:, band.rows_dst[:, None], band.cols_dst[None, :]] = mask_ffts[
-            :, band.rows_src[:, None], band.cols_src[None, :]
-        ]
+        sub = backend.zeros(
+            (mask_ffts.shape[0], m0, m1), backend.complex128
+        )
+        sub[:, idx(band.rows_dst[:, None]), idx(band.cols_dst[None, :])] = (
+            mask_ffts[:, idx(band.rows_src[:, None]), idx(band.cols_src[None, :])]
+        )
         return sub
 
+    def _device_band_arrays(self, band: GridBandSpectra):
+        """``(weights, sub_spectra)`` resident where the backend computes.
+
+        Host backends return the band's own arrays (no copy); the torch
+        backend lazily materializes device copies, cached in the
+        bounded ``_fft_cache`` under the backend's array identity so a
+        backend/device swap can never serve wrong-residency spectra.
+        This is what "GridBandSpectra held device-side" means: the
+        frozen dataclass stays host-canonical (it is what the spectra
+        store persists), and the per-device views hang off the kernel
+        set that owns them.
+        """
+        backend = self.fft
+        if backend.is_numpy:
+            return band.weights, band.sub_spectra
+        cache_key = (band.shape, "device-spectra", backend.array_identity)
+        with self._cache_lock:
+            cached = self._fft_cache.get(cache_key)
+            if cached is not None:
+                self._fft_cache.move_to_end(cache_key)
+                return cached
+        pair = (
+            backend.to_device(band.weights),
+            backend.to_device(band.sub_spectra),
+        )
+        with self._cache_lock:
+            self._fft_cache[cache_key] = pair
+            while len(self._fft_cache) > self.fft_cache_capacity:
+                self._fft_cache.popitem(last=False)
+        return pair
+
     def _gather_band_rfft(
-        self, mask_rffts: np.ndarray, band: GridBandSpectra
-    ) -> np.ndarray:
+        self, mask_rffts, band: GridBandSpectra
+    ):
         """Band gather from a half-width ``rfft2`` spectrum.
 
         A real mask's spectrum is Hermitian, ``F[r, c] = conj(F[(-r) % H,
@@ -725,38 +847,51 @@ class OpticalKernelSet:
         round-off (the rfft sums in a different order — not bit-for-bit).
         Delegates to the module-level :func:`gather_band_rfft`.
         """
-        return gather_band_rfft(mask_rffts, band)
+        return gather_band_rfft(mask_rffts, band, self.fft)
 
     def _subgrid_intensity(
-        self, sub: np.ndarray, band: GridBandSpectra
-    ) -> np.ndarray:
-        """Per-kernel subgrid convolution summed into one intensity."""
+        self, sub, band: GridBandSpectra
+    ):
+        """Per-kernel subgrid convolution summed into one intensity.
+
+        Runs wherever ``sub`` lives: host numpy under numpy/scipy,
+        on-device under torch (with device-resident kernel spectra from
+        :meth:`_device_band_arrays`).
+        """
         fft = self.fft
-        intensity = np.zeros(sub.shape, dtype=np.float64)
-        for weight, kernel_sub in zip(band.weights, band.sub_spectra):
+        weights, sub_spectra = self._device_band_arrays(band)
+        intensity = fft.zeros(sub.shape, fft.float64)
+        for weight, kernel_sub in zip(weights, sub_spectra):
             field_k = fft.ifft2(sub * kernel_sub, axes=(-2, -1))
             intensity += weight * (field_k.real**2 + field_k.imag**2)
         return intensity
 
     def _band_intensity(
-        self, mask_ffts: np.ndarray, band: GridBandSpectra
+        self, mask_ffts, band: GridBandSpectra
     ) -> np.ndarray:
-        """Exact subgrid engine: gather band, convolve, resample intensity."""
+        """Exact subgrid engine: gather band, convolve, resample intensity.
+
+        The gather, per-kernel convolution and zero-padded resample all
+        run backend-native; the dense full-grid aerial is the
+        host/device boundary, so the returned array is always host
+        numpy.
+        """
         rows, cols = band.shape
         m0, m1 = band.subgrid
         batch = mask_ffts.shape[0]
         fft = self.fft
+        idx = fft.index
         sub = self._gather_band(mask_ffts, band)
         intensity = self._subgrid_intensity(sub, band)
         # Exact zero-padded FFT resampling of the (band-limited) intensity.
         spectrum = fft.fft2(intensity, axes=(-2, -1))
         upscale = (rows * cols) / (m0 * m1)
-        full = np.zeros((batch, rows, cols), dtype=np.complex128)
-        full[:, band.up_rows_dst[:, None], band.up_cols_dst[None, :]] = (
-            spectrum[:, band.up_rows_src[:, None], band.up_cols_src[None, :]]
+        full = fft.zeros((batch, rows, cols), fft.complex128)
+        full[:, idx(band.up_rows_dst[:, None]), idx(band.up_cols_dst[None, :])] = (
+            spectrum[:, idx(band.up_rows_src[:, None]), idx(band.up_cols_src[None, :])]
             * upscale
         )
-        return fft.ifft2(full, axes=(-2, -1)).real
+        return fft.to_host(fft.ifft2(full, axes=(-2, -1)).real)
 
     def _sparse_band_values(
         self,
@@ -889,14 +1024,20 @@ class OpticalKernelSet:
                 f"the {shape} grid's band covers it"
             )
         sub = self._gather_band_rfft(mask_rffts, band)
-        return self._subgrid_intensity(sub, band)
+        return self.fft.to_host(self._subgrid_intensity(sub, band))
 
     def _full_grid_intensity(
-        self, mask_ffts: np.ndarray, shape: tuple[int, int]
+        self, mask_ffts, shape: tuple[int, int]
     ) -> np.ndarray:
+        fft = self.fft
+        if not fft.is_numpy:
+            # The dense fallback exists for non-compact bands and legacy
+            # spatial sets — host-only paths by design (the device win
+            # lives on the compact band pipeline).
+            mask_ffts = fft.to_host(mask_ffts)
+            fft = self._host_fft()
         kernel_ffts = self.kernel_spectra(shape)
         weights = self.weights_for(shape)
-        fft = self.fft
         intensity = np.zeros(mask_ffts.shape, dtype=np.float64)
         if fft.name == "scipy" and fft.workers > 1 and mask_ffts.shape[0] > 1:
             # Threaded backend: one (B, H, W) inverse transform per kernel
@@ -925,14 +1066,16 @@ class OpticalKernelSet:
 
         Used by gradient-based optimizers (pixel ILT) that need the
         fields themselves, not just the summed intensity; pair with
-        :meth:`weights_for` on the same shape.
+        :meth:`weights_for` on the same shape.  Host-side always (the
+        pixel-ILT gradient loop is numpy-native).
         """
+        mask_fft = self.fft.to_host(mask_fft)
         if mask_fft.ndim != 2:
             raise LithoError(
                 f"mask spectrum must be 2-D, got shape {mask_fft.shape}"
             )
         kernel_ffts = self.kernel_spectra(mask_fft.shape)
-        return self.fft.ifft2(mask_fft[None] * kernel_ffts, axes=(-2, -1))
+        return self._host_fft().ifft2(mask_fft[None] * kernel_ffts, axes=(-2, -1))
 
     # -- spatial materialization (persistence / visualization) ---------------
     def spatial_kernels(self) -> tuple[np.ndarray, np.ndarray]:
@@ -1001,6 +1144,7 @@ class OpticalKernelSet:
         path: str,
         fft_backend: str = "auto",
         fft_workers: int | None = None,
+        device: str | None = None,
     ) -> "OpticalKernelSet":
         """Reload a saved set.
 
@@ -1034,6 +1178,7 @@ class OpticalKernelSet:
                     cutoff_per_nm=cutoff,
                     fft_backend=fft_backend,
                     fft_workers=fft_workers,
+                    device=device,
                 )
             return cls(
                 pixel_nm=float(data["pixel_nm"]),
@@ -1043,6 +1188,7 @@ class OpticalKernelSet:
                 cutoff_per_nm=cutoff,
                 fft_backend=fft_backend,
                 fft_workers=fft_workers,
+                device=device,
             )
 
 
@@ -1058,6 +1204,7 @@ def build_kernel_set(
     numerical_aperture: float = NUMERICAL_APERTURE,
     fft_backend: str = "auto",
     fft_workers: int | None = None,
+    device: str | None = None,
     spectra_store: object | None = None,
 ) -> OpticalKernelSet:
     """Build (and cache) a frequency-native :class:`OpticalKernelSet`.
@@ -1082,5 +1229,6 @@ def build_kernel_set(
         cutoff_per_nm=numerical_aperture / wavelength_nm,
         fft_backend=fft_backend,
         fft_workers=fft_workers,
+        device=device,
         spectra_store=spectra_store,
     )

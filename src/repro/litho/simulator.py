@@ -39,18 +39,30 @@ The old ``mode="spectral"`` screening split is retired: ``mode=`` is
 accepted as a deprecated no-op (every call is exact now) and warns;
 unknown modes still raise.
 
-FFT backend
------------
+Array/device backend
+--------------------
 
-Every forward/inverse transform runs through the pluggable backend of
-:mod:`repro.litho.fft`, selected by ``LithoConfig.fft_backend``:
+Every array operation and transform runs through the pluggable array
+backend of :mod:`repro.backend`, selected by ``LithoConfig.backend``:
 ``"numpy"`` (single-threaded, the backend the committed goldens were
 generated with), ``"scipy"`` (threaded via ``workers=``, ~1e-12 from
-numpy — inside the 1e-9 golden tolerance but not bit-for-bit), or
-``"auto"`` (scipy with threads on multi-core hosts when scipy is
-importable, numpy otherwise).  Batch-vs-single-mask parity within the
+numpy — inside the 1e-9 golden tolerance but not bit-for-bit),
+``"torch"`` (device execution of the band engine on ``device``; CPU
+parity ~1e-12, never chosen implicitly), or ``"auto"`` (scipy with
+threads on multi-core hosts when scipy is importable, numpy otherwise —
+never a device backend).  Batch-vs-single-mask parity within the
 batched engine is bit-for-bit under any one backend because every path
-shares it, and all FFT-derived caches are keyed by backend identity.
+shares it, and all FFT-derived caches are keyed by backend identity and
+device.
+
+Under a device backend, :meth:`LithographySimulator.simulate_batch` and
+:meth:`~LithographySimulator.simulate_epe_batch` accept host arrays *or*
+device tensors and run the forward transform, band convolution and
+sparse gathers on the device; the returned aerials / sparse values are
+always host numpy — downstream metrology and resist thresholding are
+host-side by contract, so conversion happens exactly once, at this
+boundary.  The old ``fft_backend=`` spelling is accepted as a
+deprecated alias of ``backend=`` and warns.
 
 Batched metrology contract
 --------------------------
@@ -89,7 +101,7 @@ from repro.geometry.layout import Clip
 from repro.geometry.mask_edit import MaskState
 from repro.geometry.polygon import Polygon
 from repro.geometry.raster import Grid, rasterize
-from repro.litho.fft import resolve_fft_backend
+from repro.backend import resolve_backend
 from repro.litho.kernels import OpticalKernelSet, build_kernel_set
 from repro.litho.process import ProcessCorner, standard_corners
 from repro.litho.resist import printed_image
@@ -131,9 +143,18 @@ class LithoConfig:
     Retained so existing configs keep constructing."""
     max_kernels: int = 12
     energy_fraction: float = 0.995
-    fft_backend: str = "auto"
-    """Transform library for every FFT in the simulate path: ``"numpy"``,
-    ``"scipy"`` (threaded) or ``"auto"`` (see :mod:`repro.litho.fft`)."""
+    backend: str = "auto"
+    """Array/transform backend for every array op in the simulate path:
+    ``"numpy"``, ``"scipy"`` (threaded transforms), ``"torch"`` (device
+    execution) or ``"auto"`` (host-only; see :mod:`repro.backend`)."""
+    device: str | None = None
+    """Torch device (``"cpu"``, ``"cuda"``, ``"cuda:N"``); ``None``
+    picks CUDA when available.  Host backends ignore it (must be
+    ``None``/``"cpu"``)."""
+    fft_backend: str | None = None
+    """Deprecated alias of ``backend=`` (the knob predates the array-API
+    refactor).  Passing it warns and, when ``backend`` is left at its
+    default, routes the value into ``backend``."""
     fft_workers: int | None = None
     """Thread count for the scipy backend; ``None`` uses every core."""
     spectra_store: str | None = None
@@ -148,7 +169,18 @@ class LithoConfig:
             raise LithoError("pixel_nm must be positive")
         if self.period_nm <= 0:
             raise LithoError("period_nm must be positive")
-        resolve_fft_backend(self.fft_backend, self.fft_workers)
+        if self.fft_backend is not None:
+            warnings.warn(
+                "LithoConfig(fft_backend=) is deprecated; use backend= "
+                "(same host spellings, plus 'torch')",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            if self.backend == "auto":
+                # The frozen dataclass is mutated only here, inside
+                # construction, before any reader can observe it.
+                object.__setattr__(self, "backend", self.fft_backend)
+        resolve_backend(self.backend, self.fft_workers, self.device)
 
 
 class LazyPrinted(Mapping):
@@ -273,8 +305,9 @@ class LithographySimulator:
                     period_nm=cfg.period_nm,
                     max_kernels=cfg.max_kernels,
                     energy_fraction=cfg.energy_fraction,
-                    fft_backend=cfg.fft_backend,
+                    fft_backend=cfg.backend,
                     fft_workers=cfg.fft_workers,
+                    device=cfg.device,
                     spectra_store=store,
                 )
             return self._kernel_sets[defocus_nm]
@@ -333,9 +366,13 @@ class LithographySimulator:
 
         ``mode`` is deprecated and ignored (the engine is always exact);
         passing ``"exact"`` or ``"spectral"`` warns, anything else raises.
+
+        Under a device backend ``masks`` may already be a device tensor
+        (``(B, H, W)``); host input is moved to the device once, and the
+        returned aerials are host numpy either way.
         """
         warn_deprecated_mode(mode)
-        if isinstance(masks, np.ndarray):
+        if hasattr(masks, "ndim"):
             stack = masks
         else:
             items = list(masks)
@@ -406,8 +443,12 @@ class LithographySimulator:
         <= 1e-9 nm.  Grids whose pupil band is not compact (or legacy
         spatial kernel sets) fall back to the dense engine plus a
         gather, which is exact.
+
+        Like :meth:`simulate_batch`, ``masks`` may be a device tensor
+        under a device backend; the sparse values in each returned
+        :class:`~repro.metrology.contour.SparseAerial` are host numpy.
         """
-        if isinstance(masks, np.ndarray):
+        if hasattr(masks, "ndim"):
             stack = masks
         else:
             items = list(masks)
@@ -476,7 +517,8 @@ class LithographySimulator:
         from repro.metrology.contour import SparseAerial
 
         for plan, indices in groups.values():
-            index_array = np.asarray(indices)
+            # Device spectra need device-resident batch indices.
+            index_array = focus_set.fft.index(np.asarray(indices))
             values = evaluate(focus_set, index_array, plan)
             values_defocus = (
                 evaluate(defocus_set, index_array, plan)

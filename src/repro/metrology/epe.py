@@ -7,6 +7,12 @@ Two granularities are used by the OPC engines:
 * :func:`segment_epe` — signed EPE at *every* segment control point; this
   drives the CAMO modulator and the per-segment corrections of the
   model-based baseline, including unmeasured line-end segments.
+
+EPE is always resolved host-side in float64: whichever array backend
+produced the aerial intensity (numpy, scipy-threaded, or a torch device
+backend), sparse pixel values cross to host numpy at the
+:class:`~repro.metrology.contour.ContourStencilPlan` boundary, so the
+reported numbers are backend-independent by construction.
 """
 
 from __future__ import annotations

@@ -358,6 +358,11 @@ class OPCEnvironment:
         ``score_moves`` report to <= 1e-9 nm per measure point.  Use it
         to cut a wide candidate set down before paying for full
         :meth:`score_moves` evaluation of the survivors.
+
+        The whole batch rides the simulator's array backend: under
+        ``LithoConfig(backend="torch")`` the rfft/gather/GEMM pipeline
+        runs on the configured device and only sparse per-point values
+        return to host for EPE resolution.
         """
         candidates = self._validate_candidates(candidate_actions)
         move_set = np.asarray(MOVE_SET_NM, dtype=np.float64)

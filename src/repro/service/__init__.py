@@ -49,8 +49,9 @@ Components:
   verification pass.
 * :class:`~repro.service.service.MaskOptService` — queue, engine cache,
   sync ``submit``/``run_all``, and the thread-pooled ``map_suite`` for
-  multi-core hosts (pair with ``LithoConfig(fft_backend="scipy")``,
-  whose transforms release the GIL and split across the batch axis).
+  multi-core hosts (pair with ``LithoConfig(backend="scipy")``, whose
+  transforms release the GIL and split across the batch axis, or
+  ``backend="torch"`` to move the compact band path onto a device).
 * :class:`~repro.service.sharding.ShardedSuiteRunner` — process-based
   sharding *within* one engine's suite (``map_suite(workers=N)``,
   ``run_suite_sharded``, CLI ``--workers N``): N spawned workers rebuild

@@ -75,12 +75,13 @@ from repro.service.workqueue import (
 )
 
 FINGERPRINT_EXCLUDED_LITHO_FIELDS = (
-    "fft_backend", "fft_workers", "spectra_store",
+    "backend", "device", "fft_backend", "fft_workers", "spectra_store",
 )
 """Deployment knobs that change *where/how fast* the numbers are
-computed, never the numbers themselves — two specs differing only here
-produce bit-for-bit identical results and must share a fingerprint (so
-a journal written on a scipy-backend host resumes on a numpy one)."""
+computed, never the numbers themselves (to far inside every acceptance
+tolerance) — two specs differing only here produce equivalent results
+and must share a fingerprint, so a journal written on a numpy host
+resumes on a scipy-threaded or torch-device one and vice versa."""
 
 
 @dataclass(frozen=True)

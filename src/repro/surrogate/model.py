@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import ArrayBackend, resolve_backend
 from repro.errors import SurrogateError
 from repro.litho.kernels import (
     GridBandSpectra,
@@ -66,7 +67,10 @@ class CFNOLite(Module):
             )
         self.spectral = SpectralConv2d(1, self.width, self.modes, rng=rng)
         self.mix = Conv2d(self.width, self.corners, kernel_size=1, rng=rng)
-        self._fast_idft: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+        # Keyed (h, w, backend.array_identity): the matrices are built
+        # host-side once, then materialized per array namespace/device so
+        # a backend swap can never serve matrices resident elsewhere.
+        self._fast_idft: dict[tuple, tuple] = {}
 
     def forward(self, x: Tensor) -> Tensor:
         """``(B, 1, m0, m1)`` band-limited mask -> ``(B, corners, m0, m1)``."""
@@ -74,8 +78,8 @@ class CFNOLite(Module):
         return self.mix(fields * fields)
 
     def _fast_idft_matrices(
-        self, h: int, w: int
-    ) -> tuple[np.ndarray, np.ndarray]:
+        self, h: int, w: int, backend: ArrayBackend
+    ) -> tuple:
         """Cached inverse-DFT matrices lifting the band-limited spectrum.
 
         The mixed spectrum is zero outside ``2 m1`` rows and ``m2``
@@ -83,9 +87,12 @@ class CFNOLite(Module):
         ``B * width`` pocketfft calls (whose per-transform overhead
         dominates at 30x30): ``fields = Re(rows_mat @ S @ cols_mat)``
         with the rfft column-Hermitian doubling folded into
-        ``cols_mat``.
+        ``cols_mat``.  Both matrices are built in host float64/complex128
+        and held in the backend's native representation (a passthrough
+        for the numpy family, a device tensor for torch).
         """
-        cached = self._fast_idft.get((h, w))
+        key = (h, w, backend.array_identity)
+        cached = self._fast_idft.get(key)
         if cached is not None:
             return cached
         m1, m2 = self.modes
@@ -101,12 +108,12 @@ class CFNOLite(Module):
             np.exp((2j * np.pi / w) * np.outer(np.arange(m2), np.arange(w)))
             * (doubling[:, None] / w)
         )
-        pair = (rows_mat, cols_mat)
-        self._fast_idft[(h, w)] = pair
+        pair = (backend.to_device(rows_mat), backend.to_device(cols_mat))
+        self._fast_idft[key] = pair
         return pair
 
-    def forward_fast(self, x: np.ndarray) -> np.ndarray:
-        """Inference-only numpy forward, equal to :meth:`forward` to
+    def forward_fast(self, x, backend: ArrayBackend | None = None):
+        """Inference-only array forward, equal to :meth:`forward` to
         float round-off.
 
         The autograd path builds a Tensor graph per op; at screening
@@ -114,37 +121,51 @@ class CFNOLite(Module):
         This replays the same math — band-limited spectral mix, square,
         1x1 channel mix — directly on arrays, with the inverse transform
         done by cached band-limited DFT GEMMs.
+
+        ``backend=None`` (and any numpy-family backend) executes the
+        historical host-numpy path bit-for-bit; under the torch backend
+        the rfft2 and both GEMMs run on ``backend.device`` and the
+        result is returned device-resident (callers hand it to
+        :func:`~repro.litho.kernels.band_values_at_pixels`, which
+        converts to host at the boundary).  All intermediates are pinned
+        float64/complex128 regardless of ``torch.set_default_dtype``.
         """
-        x = np.asarray(x, dtype=np.float64)
+        backend = backend or resolve_backend("numpy", 1)
+        x = backend.asarray_f64(x)
         if x.ndim != 4 or x.shape[1] != 1:
             raise SurrogateError(
-                f"forward_fast expects (B, 1, m0, m1) input, got {x.shape}"
+                "forward_fast expects (B, 1, m0, m1) input, got "
+                f"{tuple(x.shape)}"
             )
         m1, m2 = self.modes
-        h, w = x.shape[-2:]
-        spec = np.fft.rfft2(x, axes=(-2, -1))
-        w_pos = (
+        h, w = int(x.shape[-2]), int(x.shape[-1])
+        spec = backend.rfft2(x, axes=(-2, -1))
+        w_pos = backend.to_device(
             self.spectral.weight_pos.data[..., 0]
             + 1j * self.spectral.weight_pos.data[..., 1]
         )
-        w_neg = (
+        w_neg = backend.to_device(
             self.spectral.weight_neg.data[..., 0]
             + 1j * self.spectral.weight_neg.data[..., 1]
         )
-        mixed = np.concatenate(
+        mixed = backend.concat(
             [
-                np.einsum("bcij,ocij->boij", spec[:, :, :m1, :m2], w_pos),
-                np.einsum("bcij,ocij->boij", spec[:, :, h - m1 :, :m2], w_neg),
+                backend.einsum("bcij,ocij->boij", spec[:, :, :m1, :m2], w_pos),
+                backend.einsum(
+                    "bcij,ocij->boij", spec[:, :, h - m1 :, :m2], w_neg
+                ),
             ],
             axis=2,
         )
-        rows_mat, cols_mat = self._fast_idft_matrices(h, w)
+        rows_mat, cols_mat = self._fast_idft_matrices(h, w, backend)
         fields = (rows_mat @ mixed @ cols_mat).real
         squared = fields * fields
-        out = np.einsum(
-            "oc,bchw->bohw", self.mix.weight.data[:, :, 0, 0], squared
+        out = backend.einsum(
+            "oc,bchw->bohw",
+            backend.to_device(self.mix.weight.data[:, :, 0, 0]),
+            squared,
         )
-        return out + self.mix.bias.data.reshape(1, -1, 1, 1)
+        return out + backend.to_device(self.mix.bias.data.reshape(1, -1, 1, 1))
 
 
 def pupil_modes(band: GridBandSpectra) -> tuple[int, int]:
@@ -187,15 +208,16 @@ def surrogate_features(
     which skips the full-grid forward FFT entirely.  Returns the ``(B,
     1, m0, m1)`` feature stack together with the band geometry and the
     focus kernel set (whose phase-matrix cache the prediction path
-    reuses).
+    reuses).  Masks may arrive device-resident under a device backend;
+    features stay in the kernel set's native array representation.
     """
-    masks = np.asarray(masks, dtype=np.float64)
+    band, kernel_set = _band_geometry(simulator, grid)
+    masks = kernel_set.fft.asarray_f64(masks)
     if masks.ndim != 3:
         raise SurrogateError(
-            f"mask stack must be 3-D (B, H, W), got shape {masks.shape}"
+            f"mask stack must be 3-D (B, H, W), got shape {tuple(masks.shape)}"
         )
-    band, kernel_set = _band_geometry(simulator, grid)
-    sub = band_limited_mask_subgrid_direct(masks, band)
+    sub = band_limited_mask_subgrid_direct(masks, band, kernel_set.fft)
     return sub[:, None, :, :], band, kernel_set
 
 
@@ -223,9 +245,15 @@ class SurrogateModel:
     def predict_subgrid(
         self, masks: np.ndarray, simulator, grid
     ) -> tuple[np.ndarray, GridBandSpectra, OpticalKernelSet]:
-        """Predicted per-corner subgrid intensity ``(B, corners, m0, m1)``."""
+        """Predicted per-corner subgrid intensity ``(B, corners, m0, m1)``.
+
+        Always returns host numpy; under a device backend the forward
+        runs on-device and only the final intensity crosses back.
+        """
         features, band, kernel_set = surrogate_features(masks, simulator, grid)
-        return self.net.forward_fast(features), band, kernel_set
+        backend = kernel_set.fft
+        predicted = backend.to_host(self.net.forward_fast(features, backend))
+        return predicted, band, kernel_set
 
     def predict_epe_totals(
         self,
@@ -271,10 +299,11 @@ class SurrogateModel:
         plan: ContourStencilPlan,
         threshold: float,
     ) -> np.ndarray:
-        predicted = self.net.forward_fast(features)
-        focus = np.ascontiguousarray(predicted[:, 0])
+        backend = kernel_set.fft
+        predicted = self.net.forward_fast(features, backend)
+        focus = backend.ascontiguous(predicted[:, 0])
         values = band_values_at_pixels(
-            focus, band, plan.pixel_rows, plan.pixel_cols, kernel_set.fft
+            focus, band, plan.pixel_rows, plan.pixel_cols, backend
         )
         reports = measure_epe_grouped_sparse(
             [SparseAerial(plan, row) for row in values], threshold

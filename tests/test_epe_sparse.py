@@ -21,7 +21,12 @@ from repro.geometry import Grid, Polygon, Rect, rasterize
 from repro.geometry.raster import bilinear_sample_many, bilinear_sample_stack
 from repro.geometry.segmentation import fragment_clip
 from repro.litho import build_kernel_set
-from repro.litho.fft import _is_5_smooth, next_fast_len, scipy_fft_available
+from repro.litho.fft import (
+    _is_5_smooth,
+    next_fast_len,
+    scipy_fft_available,
+    torch_available,
+)
 from repro.litho.simulator import LithoConfig, LithographySimulator
 from repro.metrology.contour import (
     SparseAerial,
@@ -40,15 +45,21 @@ from repro.metrology.epe import (
 EPE_TOLERANCE_NM = 1e-9
 INTENSITY_TOLERANCE = 1e-12
 
-BACKENDS = ["numpy"] + (["scipy"] if scipy_fft_available() else [])
+BACKENDS = (
+    ["numpy"]
+    + (["scipy"] if scipy_fft_available() else [])
+    + (["torch"] if torch_available() else [])
+)
 
 
 @pytest.fixture(scope="module", params=BACKENDS)
 def sim(request):
-    """One simulator per FFT backend — the parity suite runs under both."""
+    """One simulator per array backend — the parity suite runs under
+    every installed backend (numpy always; scipy and CPU/CUDA torch
+    when importable)."""
     return LithographySimulator(LithoConfig(
         pixel_nm=8.0, period_nm=1024.0, max_kernels=4,
-        fft_backend=request.param,
+        backend=request.param,
         fft_workers=2 if request.param == "scipy" else 1,
     ))
 

@@ -36,7 +36,7 @@ def tiny_kernel_set(capacity: int = 6, cutoff: float | None = 0.0126, **kw):
 
 def cache_key(kernel_set, shape):
     backend = kernel_set.fft
-    return (shape, backend.name, backend.workers)
+    return (shape, *backend.identity)
 
 
 class TestKernelSetErrors:
@@ -181,8 +181,8 @@ class TestFFTCacheBackendKey:
         kernel_set.fft_workers = 2
         kernel_set.kernel_spectra((16, 16))
         keys = list(kernel_set._fft_cache)
-        assert ((16, 16), "numpy", 1) in keys
-        assert ((16, 16), "numpy", 2) in keys
+        assert ((16, 16), "numpy", 1, "cpu") in keys
+        assert ((16, 16), "numpy", 2, "cpu") in keys
 
     @pytest.mark.skipif(
         not scipy_fft_available(), reason="scipy not installed"
@@ -196,8 +196,8 @@ class TestFFTCacheBackendKey:
         assert scipy_stack is not numpy_stack  # fresh computation
         assert np.allclose(scipy_stack, numpy_stack, atol=1e-9)
         # Both entries stay resident under their own keys.
-        assert ((16, 16), "numpy", 1) in kernel_set._fft_cache
-        assert ((16, 16), "scipy", 2) in kernel_set._fft_cache
+        assert ((16, 16), "numpy", 1, "cpu") in kernel_set._fft_cache
+        assert ((16, 16), "scipy", 2, "cpu") in kernel_set._fft_cache
 
     def test_native_band_spectra_are_backend_independent(self):
         from repro.litho import build_kernel_set

@@ -24,6 +24,7 @@ import zlib
 
 import pytest
 
+from repro.backend import torch_available
 from repro.data.via_bench import generate_via_clip
 from repro.errors import JournalError, ServiceError
 from repro.litho.simulator import LithoConfig
@@ -214,13 +215,18 @@ def test_resume_needs_clips(tmp_path):
 def test_fingerprint_tracks_identity_not_backend():
     """The engine fingerprint covers everything that changes numbers
     (engine, overrides, litho optics, seed) and nothing that doesn't
-    (FFT backend, worker counts, store path)."""
+    (array backend, device, FFT worker counts, store path)."""
     base = EngineSpec(engine="mbopc", litho=_litho_config(),
                       overrides=tuple(sorted(OVERRIDES.items())))
-    same = EngineSpec(engine="mbopc",
-                      litho=_litho_config(fft_backend="numpy"),
+    with pytest.warns(DeprecationWarning, match="fft_backend"):
+        legacy_spelling = _litho_config(fft_backend="numpy")
+    same = EngineSpec(engine="mbopc", litho=legacy_spelling,
                       overrides=tuple(sorted(OVERRIDES.items())))
     assert base.fingerprint() == same.fingerprint()
+    same_backend = EngineSpec(engine="mbopc",
+                              litho=_litho_config(backend="scipy"),
+                              overrides=tuple(sorted(OVERRIDES.items())))
+    assert base.fingerprint() == same_backend.fingerprint()
     other_engine = EngineSpec(engine="ilt", litho=_litho_config(),
                               overrides=())
     assert base.fingerprint() != other_engine.fingerprint()
@@ -234,6 +240,42 @@ def test_fingerprint_tracks_identity_not_backend():
         overrides=tuple(sorted(OVERRIDES.items())),
     )
     assert base.fingerprint() != other_optics.fingerprint()
+
+
+@pytest.mark.parametrize("resume_backend", [
+    "scipy",
+    pytest.param("torch", marks=pytest.mark.skipif(
+        not torch_available(), reason="torch not installed")),
+])
+def test_journal_written_under_numpy_resumes_under_other_backend(
+    tmp_path, resume_backend
+):
+    """Array backend is a deployment knob: a journal written on a numpy
+    host replays in full on a scipy-threaded or torch-device host (same
+    fingerprint), with zero clips re-run."""
+    suite = _suite()
+    numpy_spec = EngineSpec(
+        engine="mbopc", litho=_litho_config(backend="numpy"),
+        overrides=tuple(sorted(OVERRIDES.items())),
+    )
+    fingerprint = numpy_spec.fingerprint()
+    path = str(tmp_path / "numpy-host.journal")
+    with OutcomeJournal(path) as journal:
+        for index, clip in enumerate(suite):
+            journal.log_admit(index, clip, "mbopc", fingerprint)
+            journal.log_result(
+                index, _result(ticket=index, clip=clip.name), fingerprint
+            )
+
+    service = MaskOptService(
+        litho_config=_litho_config(backend=resume_backend)
+    )
+    results, replayed = resume_suite(
+        service, "mbopc", suite, path, workers=2,
+        engine_overrides=OVERRIDES,
+    )
+    assert replayed == len(suite)
+    assert [r.clip_name for r in results] == [c.name for c in suite]
 
 
 # -- SIGKILL + resume smoke (the whole point) ---------------------------------

@@ -9,6 +9,7 @@ import pytest
 from repro.constants import MOVE_SET_NM
 from repro.data.via_bench import generate_via_clip
 from repro.errors import SurrogateError
+from repro.backend import scipy_fft_available, torch_available
 from repro.geometry.raster import rasterize
 from repro.litho.kernels import band_limited_mask_subgrid_direct
 from repro.litho.simulator import LithoConfig, LithographySimulator
@@ -313,3 +314,58 @@ class TestPredictionPaths:
         grid = sim.grid_for(clip)
         with pytest.raises(SurrogateError, match="3-D"):
             surrogate_features(np.zeros((128, 128)), sim, grid)
+
+
+#: Every installed array backend; "numpy" doubles as the reference.
+PARITY_BACKENDS = (
+    ["numpy"]
+    + (["scipy"] if scipy_fft_available() else [])
+    + (["torch"] if torch_available() else [])
+)
+
+
+@pytest.mark.parametrize("backend", PARITY_BACKENDS)
+class TestBackendParity:
+    """The surrogate's litho-facing paths under every array backend.
+
+    Features, ``forward_fast`` and ranked EPE totals must agree with the
+    numpy reference to <= 1e-9 under scipy and CPU/CUDA torch — the
+    screening decisions a device deployment makes are the same
+    decisions the host makes.
+    """
+
+    def _sims(self, backend):
+        base = dict(pixel_nm=8.0, period_nm=1024.0, max_kernels=4)
+        return (
+            LithographySimulator(LithoConfig(backend="numpy", **base)),
+            LithographySimulator(LithoConfig(backend=backend, **base)),
+        )
+
+    def test_features_and_totals_match_numpy(self, backend, trained):
+        model, _ = trained
+        ref_sim, sim = self._sims(backend)
+        clip = generate_via_clip("bp1", n_vias=2, seed=57, clip_nm=1024.0)
+        env = OPCEnvironment(clip, ref_sim)
+        state = env.reset()
+        plan = env.measure_plan()
+        masks = np.stack([
+            rasterize(state.mask.mask_polygons(), env.grid),
+            rasterize(clip.targets, env.grid),
+        ])
+        ref_features, band, ref_kset = surrogate_features(
+            masks, ref_sim, env.grid
+        )
+        features, _, kset = surrogate_features(masks, sim, env.grid)
+        host_features = kset.fft.to_host(features)
+        assert np.abs(host_features - ref_features).max() < 1e-9
+        ref_pred, _, _ = model.predict_subgrid(masks, ref_sim, env.grid)
+        pred, _, _ = model.predict_subgrid(masks, sim, env.grid)
+        assert isinstance(pred, np.ndarray)
+        assert np.abs(pred - ref_pred).max() < 1e-9
+        ref_totals = model.predict_epe_totals(
+            masks, ref_sim, env.grid, plan, ref_sim.config.threshold
+        )
+        totals = model.predict_epe_totals(
+            masks, sim, env.grid, plan, sim.config.threshold
+        )
+        assert np.abs(totals - ref_totals).max() < 1e-9
